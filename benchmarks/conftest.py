@@ -1,0 +1,69 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(plus a few ablations and micro-benchmarks).  The simulation workloads are
+scaled down from the paper's 5 MB transfers so the whole suite finishes in
+minutes; pass ``--paper-scale`` to run the full-size experiments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import default_testbed
+from repro.experiments.runner import RunConfig
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the full-scale experiments (5 MB transfers, paper pair counts)",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    """True when the user asked for full-scale experiment runs."""
+    return request.config.getoption("--paper-scale")
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """The synthetic 20-node indoor testbed shared by all benchmarks."""
+    return default_testbed()
+
+
+@pytest.fixture(scope="session")
+def run_config(paper_scale) -> RunConfig:
+    """Per-flow transfer configuration (scaled or full size)."""
+    if paper_scale:
+        return RunConfig(total_packets=3495, batch_size=32, packet_size=1500, seed=1,
+                         max_duration=600.0)
+    return RunConfig(total_packets=96, batch_size=32, packet_size=1500, seed=1)
+
+
+@pytest.fixture(scope="session")
+def pair_count(paper_scale) -> int:
+    """Number of random source-destination pairs per experiment."""
+    return 200 if paper_scale else 10
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)
+
+
+RESULTS_DIR = None
+
+
+def save_report(result) -> None:
+    """Persist a figure report under <repo-root>/results/ for EXPERIMENTS.md."""
+    import pathlib
+
+    results_dir = pathlib.Path(__file__).resolve().parent.parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    path = results_dir / f"{result.name}.txt"
+    path.write_text(result.report + "\n", encoding="utf-8")

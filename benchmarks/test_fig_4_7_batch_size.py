@@ -1,0 +1,33 @@
+"""Figure 4-7: sensitivity of MORE and ExOR to the batch size K.
+
+Paper result: MORE is essentially insensitive to K between 8 and 128, while
+ExOR degrades markedly with small batches (K=8), because its per-batch
+control overhead (batch maps, scheduling, cleanup) is amortised over fewer
+packets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_4_7
+
+from conftest import run_once, save_report
+
+
+def test_figure_4_7_batch_size(benchmark, testbed, run_config, paper_scale):
+    pair_count = 40 if paper_scale else 4
+    batch_sizes = (8, 16, 32, 64, 128) if paper_scale else (8, 16, 32, 64)
+    result = run_once(benchmark, figure_4_7, topology=testbed, pair_count=pair_count,
+                      seed=5, batch_sizes=batch_sizes, config=run_config)
+    print("\n" + result.report)
+    save_report(result)
+
+    # MORE's throughput at K=8 stays close to its K=32 value (the paper's
+    # headline claim for this figure) ...
+    assert result.summary["more_k8_vs_k32"] > 0.6
+    # ... and every batch size remains usable for both protocols.  The
+    # paper's strong ExOR penalty at K=8 is not reproduced at reduced scale
+    # (our idealised scheduler understates ExOR's per-batch control cost);
+    # see EXPERIMENTS.md.
+    medians = result.extras["medians"]
+    assert all(value > 0 for value in medians["MORE"].values())
+    assert all(value > 0 for value in medians["ExOR"].values())

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the computational primitives underneath MORE.
+
+These complement Table 4.1: GF(2^8) vector kernels (the inner loop of all
+coding), the EOTX algorithms of Chapter 5 and Algorithm 1 on the full
+20-node testbed, and one end-to-end simulated transfer per protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import RunConfig, run_single_flow
+from repro.gf.arithmetic import scale_and_add, vec_scale
+from repro.metrics.credits import forwarding_plan
+from repro.metrics.eotx import eotx_bellman_ford, eotx_dijkstra
+from repro.metrics.lp import solve_min_cost_flow
+from repro.topology.generator import random_mesh
+
+from conftest import run_once
+
+PACKET = np.random.default_rng(0).integers(0, 256, 1500, dtype=np.uint8)
+
+
+def test_gf_vector_scale(benchmark):
+    """Scaling a 1500-byte packet by a random coefficient (one table row lookup)."""
+    benchmark(vec_scale, PACKET, 0x53)
+
+
+def test_gf_scale_and_add(benchmark):
+    """The coding inner loop: accumulator ^= c * packet over 1500 bytes."""
+    accumulator = np.zeros(1500, dtype=np.uint8)
+    benchmark(scale_and_add, accumulator, PACKET, 0x53)
+
+
+def test_eotx_dijkstra_on_testbed(benchmark, testbed):
+    """Algorithm 5 (O(n^2) EOTX) over the 20-node testbed."""
+    costs = benchmark(eotx_dijkstra, testbed, 0)
+    assert np.isfinite(costs).all()
+
+
+def test_eotx_bellman_ford_on_testbed(benchmark, testbed):
+    """Algorithms 3+4 (Bellman-Ford EOTX) over the 20-node testbed."""
+    costs = benchmark(eotx_bellman_ford, testbed, 0)
+    assert np.isfinite(costs).all()
+
+
+def test_forwarding_plan_on_testbed(benchmark, testbed):
+    """Algorithm 1 + Eq. 3.3 + pruning: what a MORE source computes per flow."""
+    plan = benchmark(forwarding_plan, testbed, 17, 2)
+    assert plan.total_cost > 0
+
+
+def test_min_cost_flow_lp(benchmark):
+    """The reference LP of Section 5.3 on an 8-node mesh (prefix constraints)."""
+    topo = random_mesh(8, density=0.5, seed=3)
+    solution = benchmark.pedantic(
+        solve_min_cost_flow, args=(topo, 7, 0), kwargs={"prefix_constraints_only": True},
+        rounds=1, iterations=1, warmup_rounds=0)
+    assert solution.total_cost > 0
+
+
+@pytest.mark.parametrize("protocol", ["MORE", "ExOR", "Srcr"])
+def test_end_to_end_transfer(benchmark, testbed, protocol):
+    """Wall-clock cost of simulating one 96-packet transfer per protocol."""
+    config = RunConfig(total_packets=96, batch_size=32, packet_size=1500, seed=2)
+    result = run_once(benchmark, run_single_flow, testbed, protocol, 17, 2, config=config)
+    assert result.completed

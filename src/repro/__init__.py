@@ -1,0 +1,22 @@
+"""repro: a reproduction of MORE (Trading Structure for Randomness in
+Wireless Opportunistic Routing, SIGCOMM 2007).
+
+The package provides:
+
+* :mod:`repro.gf` — GF(2^8) arithmetic with the paper's 64 KiB lookup table;
+* :mod:`repro.coding` — intra-flow random linear network coding;
+* :mod:`repro.topology` — mesh topologies including a synthetic stand-in for
+  the paper's 20-node indoor testbed;
+* :mod:`repro.metrics` — ETX, EOTX, transmission credits and the Chapter 5
+  min-cost flow theory;
+* :mod:`repro.sim` — a discrete-event 802.11 substrate (CSMA/CA, losses,
+  collisions, capture, spatial reuse);
+* :mod:`repro.protocols` — MORE, ExOR and Srcr agents running on that
+  substrate;
+* :mod:`repro.experiments` — workloads and harnesses reproducing every table
+  and figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,29 @@
+"""Intra-flow random linear network coding (MORE Chapter 3)."""
+
+from repro.coding.buffer import BatchBuffer
+from repro.coding.decoder import BatchDecoder, decode_by_inversion
+from repro.coding.encoder import ForwarderEncoder, SourceEncoder
+from repro.coding.packet import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_PACKET_SIZE,
+    Batch,
+    CodedPacket,
+    NativePacket,
+    make_batch,
+    split_file,
+)
+
+__all__ = [
+    "Batch",
+    "BatchBuffer",
+    "BatchDecoder",
+    "CodedPacket",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_PACKET_SIZE",
+    "ForwarderEncoder",
+    "NativePacket",
+    "SourceEncoder",
+    "decode_by_inversion",
+    "make_batch",
+    "split_file",
+]

@@ -1,0 +1,204 @@
+"""Batch buffer with incremental innovation checking (Algorithm 2).
+
+Every MORE node (source excepted) maintains, per flow, a buffer of the
+innovative packets it has heard from the current batch.  Section 3.2.3(b) of
+the paper describes the trick that makes innovation checking cheap: the code
+vectors of buffered packets are kept in row-echelon (triangular) form so a
+newly heard vector can be reduced against them with at most K row operations.
+Only if the reduced vector is non-zero is the packet innovative; its
+*payload bytes are never touched* during the check.
+
+:class:`BatchBuffer` implements exactly that data structure, storing for each
+pivot position the (reduced) code vector and the correspondingly combined
+payload so the destination can later decode with a cheap back-substitution
+free pass (the rows are maintained in *reduced* row-echelon form as the
+paper's decoder does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.packet import CodedPacket
+from repro.gf.arithmetic import scale_and_add, vec_scale
+from repro.gf.tables import INV
+
+
+class BatchBuffer:
+    """Stores the innovative coded packets of one batch in row-echelon form.
+
+    Args:
+        batch_size: K, the number of native packets in the batch.
+        packet_size: payload bytes per packet.
+        track_payloads: when False only code vectors are stored; forwarders
+            that merely need rank information (e.g. in analytical tests) can
+            avoid the payload memory.
+    """
+
+    def __init__(self, batch_size: int, packet_size: int, track_payloads: bool = True) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if packet_size < 0:
+            raise ValueError("packet_size must be non-negative")
+        self.batch_size = batch_size
+        self.packet_size = packet_size
+        self.track_payloads = track_payloads
+        # Row i, when present, has its leading non-zero coefficient at column i.
+        self._vectors: list[np.ndarray | None] = [None] * batch_size
+        self._payloads: list[np.ndarray | None] = [None] * batch_size
+        self._rank = 0
+        self.received = 0
+        self.innovative = 0
+
+    @property
+    def rank(self) -> int:
+        """Current rank (number of innovative packets stored)."""
+        return self._rank
+
+    @property
+    def is_full(self) -> bool:
+        """True when the buffer holds K linearly independent packets."""
+        return self._rank >= self.batch_size
+
+    def occupied_pivots(self) -> list[int]:
+        """Return the pivot columns currently present, in increasing order."""
+        return [i for i, row in enumerate(self._vectors) if row is not None]
+
+    def add(self, packet: CodedPacket) -> bool:
+        """Insert a coded packet; return True iff it was innovative.
+
+        Implements Algorithm 2 of the paper with the additional reduced-form
+        maintenance used by the destination decoder: when a new pivot is
+        admitted, rows above it are also cleared in that column so the stored
+        matrix stays in *reduced* row-echelon form.
+        """
+        if packet.batch_size != self.batch_size:
+            raise ValueError(
+                f"packet code vector length {packet.batch_size} does not match "
+                f"buffer batch size {self.batch_size}"
+            )
+        self.received += 1
+        vector = packet.code_vector.copy()
+        payload = packet.payload.copy() if self.track_payloads else None
+        if payload is not None and payload.shape[0] != self.packet_size:
+            raise ValueError(
+                f"payload length {payload.shape[0]} does not match buffer packet size "
+                f"{self.packet_size}"
+            )
+
+        # Phase 1: reduce the incoming vector against *every* stored pivot row
+        # (stored rows are themselves reduced, so one pass suffices).  This
+        # zeroes all pivot columns of the incoming vector, which is required
+        # for the stored matrix to remain in *reduced* row-echelon form —
+        # otherwise the full-rank matrix is not the identity and decoding
+        # would return corrupted payloads.
+        for column in range(self.batch_size):
+            existing = self._vectors[column]
+            if existing is None:
+                continue
+            coefficient = int(vector[column])
+            if coefficient == 0:
+                continue
+            # u <- u - M[column] * u[column]; subtraction is XOR.
+            scale_and_add(vector, existing, coefficient)
+            if payload is not None and self._payloads[column] is not None:
+                scale_and_add(payload, self._payloads[column], coefficient)
+
+        # Phase 2: the first remaining non-zero column (necessarily pivot
+        # free) becomes the new pivot; normalise and clean the other rows.
+        pivot_columns = np.nonzero(vector)[0]
+        if pivot_columns.size == 0:
+            # Vector reduced to zero: the packet is not innovative.
+            return False
+        column = int(pivot_columns[0])
+        coefficient = int(vector[column])
+        inverse = int(INV[coefficient])
+        vector = vec_scale(vector, inverse)
+        if payload is not None:
+            payload = vec_scale(payload, inverse)
+        for other in range(self.batch_size):
+            other_vector = self._vectors[other]
+            if other == column or other_vector is None:
+                continue
+            factor = int(other_vector[column])
+            if factor:
+                scale_and_add(other_vector, vector, factor)
+                if self.track_payloads and self._payloads[other] is not None and payload is not None:
+                    scale_and_add(self._payloads[other], payload, factor)
+        self._vectors[column] = vector
+        self._payloads[column] = payload
+        self._rank += 1
+        self.innovative += 1
+        return True
+
+    def is_innovative(self, code_vector: np.ndarray) -> bool:
+        """Check whether a code vector would be innovative, without inserting it."""
+        vector = np.asarray(code_vector, dtype=np.uint8).copy()
+        if vector.shape[0] != self.batch_size:
+            raise ValueError("code vector length does not match batch size")
+        for column in range(self.batch_size):
+            coefficient = int(vector[column])
+            if coefficient == 0:
+                continue
+            existing = self._vectors[column]
+            if existing is None:
+                return True
+            scale_and_add(vector, existing, coefficient)
+        return False
+
+    def stored_packets(self) -> list[CodedPacket]:
+        """Return the stored (reduced) packets as :class:`CodedPacket` objects."""
+        packets = []
+        for column in range(self.batch_size):
+            vector = self._vectors[column]
+            if vector is None:
+                continue
+            payload = self._payloads[column]
+            if payload is None:
+                payload = np.zeros(self.packet_size, dtype=np.uint8)
+            packets.append(CodedPacket(code_vector=vector.copy(), payload=payload.copy()))
+        return packets
+
+    def coefficient_matrix(self) -> np.ndarray:
+        """Return the stored code vectors stacked as a rank x K matrix."""
+        rows = [v for v in self._vectors if v is not None]
+        if not rows:
+            return np.zeros((0, self.batch_size), dtype=np.uint8)
+        return np.stack(rows)
+
+    def payload_matrix(self) -> np.ndarray:
+        """Return the stored payloads stacked as a rank x S matrix."""
+        if not self.track_payloads:
+            raise RuntimeError("buffer was created without payload tracking")
+        rows = [p for p in self._payloads if p is not None]
+        if not rows:
+            return np.zeros((0, self.packet_size), dtype=np.uint8)
+        return np.stack(rows)
+
+    def decode(self) -> np.ndarray:
+        """Recover the K native payloads; requires a full-rank buffer.
+
+        Because the buffer maintains reduced row-echelon form incrementally,
+        once rank reaches K the stored coefficient matrix is the identity and
+        the stored payloads *are* the native packets, in order.
+
+        Returns:
+            A K x S matrix whose row ``i`` is native packet ``i``.
+
+        Raises:
+            RuntimeError: if the buffer is not yet full rank or payloads are
+                not tracked.
+        """
+        if not self.track_payloads:
+            raise RuntimeError("cannot decode a buffer created without payload tracking")
+        if not self.is_full:
+            raise RuntimeError(
+                f"cannot decode: rank {self._rank} < batch size {self.batch_size}"
+            )
+        return self.payload_matrix()
+
+    def clear(self) -> None:
+        """Drop all stored state (used when a batch is flushed)."""
+        self._vectors = [None] * self.batch_size
+        self._payloads = [None] * self.batch_size
+        self._rank = 0

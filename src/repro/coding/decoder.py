@@ -1,0 +1,90 @@
+"""Destination-side batch decoder.
+
+The destination collects innovative packets and, once it has K of them,
+recovers the native packets by solving the K x K linear system of code
+vectors (Section 3.1.3).  Two implementations are provided:
+
+* :class:`BatchDecoder` — the production decoder, built on
+  :class:`~repro.coding.buffer.BatchBuffer`, which performs incremental
+  Gauss–Jordan elimination per arrival so the final decode is free.
+* :func:`decode_by_inversion` — the literal matrix-inversion formulation
+  from the paper, used as a cross-check in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.buffer import BatchBuffer
+from repro.coding.packet import CodedPacket, NativePacket
+from repro.gf.matrix import SingularMatrixError, invert, matmul
+
+
+class BatchDecoder:
+    """Collects coded packets of one batch and decodes once full rank."""
+
+    def __init__(self, batch_size: int, packet_size: int, batch_id: int = 0) -> None:
+        self.batch_id = batch_id
+        self.buffer = BatchBuffer(batch_size, packet_size)
+
+    @property
+    def rank(self) -> int:
+        """Number of innovative packets received so far."""
+        return self.buffer.rank
+
+    @property
+    def batch_size(self) -> int:
+        """K, the number of packets needed to decode."""
+        return self.buffer.batch_size
+
+    @property
+    def is_complete(self) -> bool:
+        """True once K innovative packets have been received."""
+        return self.buffer.is_full
+
+    def add_packet(self, packet: CodedPacket) -> bool:
+        """Insert a received packet; returns True iff it was innovative."""
+        return self.buffer.add(packet)
+
+    def decode(self) -> list[NativePacket]:
+        """Recover the native packets.
+
+        Raises:
+            RuntimeError: if fewer than K innovative packets were received.
+        """
+        payloads = self.buffer.decode()
+        return [NativePacket(index=i, payload=payloads[i]) for i in range(self.batch_size)]
+
+    def missing(self) -> int:
+        """Number of additional innovative packets needed to decode."""
+        return self.batch_size - self.rank
+
+
+def decode_by_inversion(packets: list[CodedPacket]) -> np.ndarray:
+    """Decode a batch by explicit matrix inversion (reference implementation).
+
+    Args:
+        packets: exactly K coded packets with linearly independent code
+            vectors.
+
+    Returns:
+        A K x S matrix whose rows are the native payloads in order.
+
+    Raises:
+        ValueError: if the packet count does not equal the batch size.
+        SingularMatrixError: if the code vectors are linearly dependent.
+    """
+    if not packets:
+        raise ValueError("no packets to decode")
+    batch_size = packets[0].batch_size
+    if len(packets) != batch_size:
+        raise ValueError(
+            f"decode_by_inversion needs exactly K={batch_size} packets, got {len(packets)}"
+        )
+    coefficients = np.stack([p.code_vector for p in packets])
+    payloads = np.stack([p.payload for p in packets])
+    try:
+        inverse = invert(coefficients)
+    except SingularMatrixError:
+        raise
+    return matmul(inverse, payloads)

@@ -1,0 +1,143 @@
+"""Random linear encoders for MORE sources and forwarders.
+
+Two encoders are provided:
+
+* :class:`SourceEncoder` — codes over the K native packets of the current
+  batch (Section 3.1.1).  Every transmission is a fresh random linear
+  combination ``p' = sum_i c_i p_i``.
+* :class:`ForwarderEncoder` — codes over the innovative coded packets a
+  forwarder has buffered (Section 3.1.2) and additionally implements the
+  *pre-coding* optimisation of Section 3.2.3(c): a combination is prepared
+  ahead of the transmission opportunity and incrementally updated when new
+  innovative packets arrive, so no coding delay is inserted in front of a
+  transmission.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.buffer import BatchBuffer
+from repro.coding.packet import Batch, CodedPacket
+from repro.gf.arithmetic import random_coefficients, scale_and_add
+
+
+class SourceEncoder:
+    """Generates random linear combinations of a batch's native packets."""
+
+    def __init__(self, batch: Batch, rng: np.random.Generator) -> None:
+        if batch.size == 0:
+            raise ValueError("cannot encode an empty batch")
+        self.batch = batch
+        self.rng = rng
+        self._payloads = batch.payload_matrix()
+        self.packets_generated = 0
+
+    @property
+    def batch_size(self) -> int:
+        """K, the number of native packets coded over."""
+        return self.batch.size
+
+    def next_packet(self) -> CodedPacket:
+        """Produce a fresh coded packet over all K native packets."""
+        coefficients = random_coefficients(self.batch_size, self.rng)
+        # Guard against the (astronomically unlikely) all-zero draw so that
+        # every transmitted packet carries information.
+        while not coefficients.any():
+            coefficients = random_coefficients(self.batch_size, self.rng)
+        payload = np.zeros(self.batch.packet_size, dtype=np.uint8)
+        for index, coefficient in enumerate(coefficients):
+            scale_and_add(payload, self._payloads[index], int(coefficient))
+        self.packets_generated += 1
+        return CodedPacket(
+            code_vector=coefficients, payload=payload, batch_id=self.batch.batch_id
+        )
+
+
+class ForwarderEncoder:
+    """Re-codes buffered innovative packets, with pre-coding support.
+
+    The encoder owns a :class:`BatchBuffer`.  ``add_packet`` inserts a heard
+    packet; if it is innovative it is also folded into the pre-coded packet
+    so the next transmission reflects everything the node knows.
+    """
+
+    def __init__(self, batch_size: int, packet_size: int, rng: np.random.Generator,
+                 batch_id: int = 0) -> None:
+        self.buffer = BatchBuffer(batch_size, packet_size)
+        self.rng = rng
+        self.batch_id = batch_id
+        self._precoded_vector: np.ndarray | None = None
+        self._precoded_payload: np.ndarray | None = None
+        self.packets_generated = 0
+
+    @property
+    def rank(self) -> int:
+        """Number of innovative packets buffered."""
+        return self.buffer.rank
+
+    def add_packet(self, packet: CodedPacket) -> bool:
+        """Insert a heard packet; returns True iff it was innovative.
+
+        Innovative arrivals are multiplied by a fresh random coefficient and
+        added to the pre-coded packet (Section 3.2.3(c)), keeping it current
+        without recomputing the whole combination.
+        """
+        innovative = self.buffer.add(packet)
+        if innovative:
+            if self._precoded_vector is None:
+                self._start_precode()
+            else:
+                coefficient = int(self.rng.integers(1, 256))
+                scale_and_add(self._precoded_vector, packet.code_vector, coefficient)
+                scale_and_add(self._precoded_payload, packet.payload, coefficient)
+        return innovative
+
+    def _start_precode(self) -> None:
+        """Build a pre-coded packet from scratch over the current buffer."""
+        stored = self.buffer.stored_packets()
+        if not stored:
+            self._precoded_vector = None
+            self._precoded_payload = None
+            return
+        vector = np.zeros(self.buffer.batch_size, dtype=np.uint8)
+        payload = np.zeros(self.buffer.packet_size, dtype=np.uint8)
+        for packet in stored:
+            coefficient = int(self.rng.integers(1, 256))
+            scale_and_add(vector, packet.code_vector, coefficient)
+            scale_and_add(payload, packet.payload, coefficient)
+        self._precoded_vector = vector
+        self._precoded_payload = payload
+
+    def has_data(self) -> bool:
+        """True if the forwarder has anything to transmit."""
+        return self.buffer.rank > 0
+
+    def next_packet(self) -> CodedPacket:
+        """Hand out the pre-coded packet and immediately prepare a new one.
+
+        Raises:
+            RuntimeError: if no innovative packet has been buffered yet.
+        """
+        if self._precoded_vector is None or self._precoded_payload is None:
+            self._start_precode()
+        if self._precoded_vector is None or self._precoded_payload is None:
+            raise RuntimeError("forwarder has no buffered packets to code over")
+        packet = CodedPacket(
+            code_vector=self._precoded_vector,
+            payload=self._precoded_payload,
+            batch_id=self.batch_id,
+        )
+        self.packets_generated += 1
+        # As soon as the transmission starts, pre-code the next packet
+        # (Section 3.3.3, sender side).
+        self._start_precode()
+        return packet
+
+    def reset(self, batch_id: int | None = None) -> None:
+        """Flush buffered packets (batch acked or superseded)."""
+        self.buffer.clear()
+        self._precoded_vector = None
+        self._precoded_payload = None
+        if batch_id is not None:
+            self.batch_id = batch_id

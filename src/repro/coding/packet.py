@@ -1,0 +1,190 @@
+"""Packet abstractions for intra-flow network coding.
+
+MORE distinguishes *native* packets (the K uncoded packets of a batch) from
+*coded* packets (random linear combinations of natives, Table 3.1).  A coded
+packet carries a *code vector* of K coefficients describing how it was
+derived from the natives, plus the combined payload bytes.
+
+Payloads are numpy ``uint8`` vectors; every byte is one GF(2^8) element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Default packet payload size used throughout the evaluation (Section 4.1.2).
+DEFAULT_PACKET_SIZE = 1500
+
+#: Default batch size used throughout the evaluation (Section 4.1.2).
+DEFAULT_BATCH_SIZE = 32
+
+
+def _as_payload(data: np.ndarray | bytes | bytearray) -> np.ndarray:
+    """Coerce payload bytes to a 1-D uint8 array."""
+    if isinstance(data, (bytes, bytearray)):
+        return np.frombuffer(bytes(data), dtype=np.uint8).copy()
+    array = np.asarray(data, dtype=np.uint8)
+    if array.ndim != 1:
+        raise ValueError(f"payload must be 1-D, got shape {array.shape}")
+    return array.copy()
+
+
+@dataclass(frozen=True)
+class NativePacket:
+    """One uncoded packet of a batch.
+
+    Attributes:
+        index: position of the packet within its batch (0 .. K-1).
+        payload: packet bytes as a uint8 vector.
+    """
+
+    index: int
+    payload: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "payload", _as_payload(self.payload))
+        if self.index < 0:
+            raise ValueError("native packet index must be non-negative")
+
+    @property
+    def size(self) -> int:
+        """Payload length in bytes."""
+        return int(self.payload.shape[0])
+
+    def to_bytes(self) -> bytes:
+        """Return the payload as immutable bytes."""
+        return self.payload.tobytes()
+
+
+@dataclass(frozen=True)
+class CodedPacket:
+    """A random linear combination of the native packets of one batch.
+
+    Attributes:
+        batch_size: K, the number of native packets in the batch.
+        code_vector: length-K uint8 vector of combination coefficients.
+        payload: combined payload bytes.
+        batch_id: identifier of the batch this packet belongs to.
+    """
+
+    code_vector: np.ndarray
+    payload: np.ndarray
+    batch_id: int = 0
+
+    def __post_init__(self) -> None:
+        vector = np.asarray(self.code_vector, dtype=np.uint8)
+        if vector.ndim != 1:
+            raise ValueError("code vector must be 1-D")
+        object.__setattr__(self, "code_vector", vector.copy())
+        object.__setattr__(self, "payload", _as_payload(self.payload))
+
+    @property
+    def batch_size(self) -> int:
+        """K, the length of the code vector."""
+        return int(self.code_vector.shape[0])
+
+    @property
+    def size(self) -> int:
+        """Payload length in bytes."""
+        return int(self.payload.shape[0])
+
+    def is_zero(self) -> bool:
+        """True if the code vector is all zeros (carries no information)."""
+        return not bool(self.code_vector.any())
+
+    def copy(self) -> "CodedPacket":
+        """Return an independent copy of this packet."""
+        return CodedPacket(
+            code_vector=self.code_vector.copy(),
+            payload=self.payload.copy(),
+            batch_id=self.batch_id,
+        )
+
+
+@dataclass
+class Batch:
+    """A batch of K native packets produced by splitting a file.
+
+    The source codes over one batch at a time (Section 3.1.1).
+    """
+
+    batch_id: int
+    packets: list[NativePacket] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of native packets K in the batch."""
+        return len(self.packets)
+
+    @property
+    def packet_size(self) -> int:
+        """Payload size of the packets in this batch (bytes)."""
+        if not self.packets:
+            return 0
+        return self.packets[0].size
+
+    def payload_matrix(self) -> np.ndarray:
+        """Stack the native payloads into a K x S matrix."""
+        if not self.packets:
+            return np.zeros((0, 0), dtype=np.uint8)
+        return np.stack([p.payload for p in self.packets])
+
+
+def split_file(
+    data: bytes | bytearray | np.ndarray,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    packet_size: int = DEFAULT_PACKET_SIZE,
+) -> list[Batch]:
+    """Split a byte stream into batches of native packets.
+
+    The final packet of the final batch is zero-padded to ``packet_size`` and
+    the final batch may contain fewer than ``batch_size`` packets, exactly as
+    a real transfer would (the paper notes K may vary between batches).
+
+    Args:
+        data: the file contents.
+        batch_size: K, packets per batch.
+        packet_size: payload bytes per packet.
+
+    Returns:
+        The ordered list of batches covering ``data``.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if packet_size <= 0:
+        raise ValueError("packet_size must be positive")
+    buffer = np.asarray(
+        np.frombuffer(bytes(data), dtype=np.uint8)
+        if isinstance(data, (bytes, bytearray))
+        else np.asarray(data, dtype=np.uint8)
+    )
+    total_packets = max(1, int(np.ceil(buffer.size / packet_size))) if buffer.size else 0
+    batches: list[Batch] = []
+    for start in range(0, total_packets, batch_size):
+        batch = Batch(batch_id=len(batches))
+        for index in range(start, min(start + batch_size, total_packets)):
+            chunk = buffer[index * packet_size : (index + 1) * packet_size]
+            if chunk.size < packet_size:
+                padded = np.zeros(packet_size, dtype=np.uint8)
+                padded[: chunk.size] = chunk
+                chunk = padded
+            batch.packets.append(NativePacket(index=index - start, payload=chunk))
+        batches.append(batch)
+    return batches
+
+
+def make_batch(
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    packet_size: int = DEFAULT_PACKET_SIZE,
+    rng: np.random.Generator | None = None,
+    batch_id: int = 0,
+) -> Batch:
+    """Create a batch filled with random payload bytes (for tests/benchmarks)."""
+    generator = rng if rng is not None else np.random.default_rng(0)
+    packets = [
+        NativePacket(index=i, payload=generator.integers(0, 256, size=packet_size, dtype=np.uint8))
+        for i in range(batch_size)
+    ]
+    return Batch(batch_id=batch_id, packets=packets)

@@ -1,0 +1,62 @@
+"""Experiment harness reproducing the paper's evaluation (Chapter 4 and 5.7)."""
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    FigureResult,
+    default_testbed,
+    figure_4_2,
+    figure_4_3,
+    figure_4_4,
+    figure_4_5,
+    figure_4_6,
+    figure_4_7,
+    figure_5_1,
+    table_4_1,
+)
+from repro.experiments.runner import (
+    PROTOCOLS,
+    FlowResult,
+    RunConfig,
+    compare_protocols,
+    run_flows,
+    run_single_flow,
+)
+from repro.experiments.stats import Summary, cdf, median, median_gain, percentile, summarize
+from repro.experiments.workloads import (
+    challenged_pairs,
+    multiflow_sets,
+    random_pairs,
+    reachable_pairs,
+    spatial_reuse_pairs,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "FigureResult",
+    "FlowResult",
+    "PROTOCOLS",
+    "RunConfig",
+    "Summary",
+    "cdf",
+    "challenged_pairs",
+    "compare_protocols",
+    "default_testbed",
+    "figure_4_2",
+    "figure_4_3",
+    "figure_4_4",
+    "figure_4_5",
+    "figure_4_6",
+    "figure_4_7",
+    "figure_5_1",
+    "median",
+    "median_gain",
+    "multiflow_sets",
+    "percentile",
+    "random_pairs",
+    "reachable_pairs",
+    "run_flows",
+    "run_single_flow",
+    "spatial_reuse_pairs",
+    "summarize",
+    "table_4_1",
+]

@@ -1,0 +1,80 @@
+"""Statistics helpers used by the experiment harness (CDFs, percentiles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def cdf(values: list[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of ``values``.
+
+    Returns:
+        ``(x, y)`` arrays where ``y[i]`` is the fraction of samples <= ``x[i]``;
+        the plots in the paper (Figs 4-2, 4-4, 4-6, 4-7) are exactly these.
+    """
+    if not values:
+        return np.zeros(0), np.zeros(0)
+    x = np.sort(np.asarray(values, dtype=float))
+    y = np.arange(1, x.size + 1) / x.size
+    return x, y
+
+
+def percentile(values: list[float], q: float) -> float:
+    """q-th percentile (q in [0, 100]) of ``values``."""
+    if not values:
+        return float("nan")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def median(values: list[float]) -> float:
+    """Median of ``values``."""
+    return percentile(values, 50.0)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Distribution summary used when reporting per-protocol throughput."""
+
+    count: int
+    mean: float
+    median: float
+    p10: float
+    p90: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: list[float]) -> Summary:
+    """Summary statistics of a throughput sample."""
+    if not values:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan)
+    array = np.asarray(values, dtype=float)
+    return Summary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        median=float(np.median(array)),
+        p10=float(np.percentile(array, 10)),
+        p90=float(np.percentile(array, 90)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )
+
+
+def median_gain(numerator: list[float], denominator: list[float]) -> float:
+    """Ratio of medians, the statistic the paper quotes for protocol gains."""
+    base = median(denominator)
+    if base <= 0:
+        return float("nan")
+    return median(numerator) / base
+
+
+def pairwise_gains(numerator: list[float], denominator: list[float]) -> list[float]:
+    """Per-pair throughput ratios (used for the 10-12x challenged-flow claim)."""
+    gains = []
+    for top, bottom in zip(numerator, denominator):
+        if bottom > 0:
+            gains.append(top / bottom)
+    return gains

@@ -1,0 +1,131 @@
+"""Workload generators: which source-destination pairs each experiment uses.
+
+The paper's evaluation selects
+
+* random source-destination pairs across the testbed (Figs 4-2, 4-3, 4-6,
+  4-7),
+* flows with 4-hop best paths whose first and last hop can transmit
+  concurrently — the spatial-reuse scenario (Fig 4-4),
+* sets of concurrent flows with random endpoints (Fig 4-5).
+
+These helpers reproduce those selections on an arbitrary topology.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.metrics.etx import best_path, etx_to_destination, hop_count
+from repro.topology.graph import Topology
+
+
+def reachable_pairs(topology: Topology, min_hops: int = 1) -> list[tuple[int, int]]:
+    """All ordered pairs with a usable best path of at least ``min_hops`` hops."""
+    pairs = []
+    for destination in range(topology.node_count):
+        distances = etx_to_destination(topology, destination)
+        for source in range(topology.node_count):
+            if source == destination or math.isinf(distances[source]):
+                continue
+            if min_hops <= 1:
+                pairs.append((source, destination))
+                continue
+            if hop_count(topology, source, destination) >= min_hops:
+                pairs.append((source, destination))
+    return pairs
+
+
+def random_pairs(topology: Topology, count: int, seed: int = 0,
+                 min_hops: int = 1) -> list[tuple[int, int]]:
+    """Select ``count`` random source-destination pairs (with replacement only
+    if fewer distinct pairs exist)."""
+    rng = np.random.default_rng(seed)
+    candidates = reachable_pairs(topology, min_hops=min_hops)
+    if not candidates:
+        raise ValueError("topology has no reachable pairs with the requested hop count")
+    if count <= len(candidates):
+        indices = rng.choice(len(candidates), size=count, replace=False)
+    else:
+        indices = rng.choice(len(candidates), size=count, replace=True)
+    return [candidates[int(i)] for i in indices]
+
+
+def spatial_reuse_pairs(topology: Topology, count: int, seed: int = 0,
+                        path_hops: int = 4, isolation_threshold: float = 0.10,
+                        common_neighbor_threshold: float = 0.20) -> list[tuple[int, int]]:
+    """Pairs whose best path has ``path_hops`` hops and whose first and last
+    hop transmitters can transmit concurrently (Fig 4-4's selection).
+
+    The first-hop transmitter is the source; the last-hop transmitter is the
+    next-to-last node of the best path.  Concurrency requires that the two
+    cannot carrier-sense each other, which in the simulator's channel model
+    means (a) they cannot decode each other (delivery below
+    ``isolation_threshold``) and (b) they do not both reach a common
+    neighbour with delivery at least ``common_neighbor_threshold`` (the
+    extended-sense rule of :class:`repro.sim.radio.ChannelConfig`).
+    """
+    rng = np.random.default_rng(seed)
+    delivery = topology.delivery_matrix()
+    candidates = []
+    for source, destination in reachable_pairs(topology, min_hops=path_hops):
+        try:
+            path = best_path(topology, source, destination)
+        except ValueError:
+            continue
+        if len(path) - 1 != path_hops:
+            continue
+        last_hop_sender = path[-2]
+        forward = topology.delivery(source, last_hop_sender)
+        backward = topology.delivery(last_hop_sender, source)
+        if forward > isolation_threshold or backward > isolation_threshold:
+            continue
+        shares_neighbor = bool(np.any(
+            (delivery[source] >= common_neighbor_threshold)
+            & (delivery[last_hop_sender] >= common_neighbor_threshold)
+        ))
+        if shares_neighbor:
+            continue
+        candidates.append((source, destination))
+    if not candidates:
+        return []
+    if count >= len(candidates):
+        return candidates
+    indices = rng.choice(len(candidates), size=count, replace=False)
+    return [candidates[int(i)] for i in indices]
+
+
+def multiflow_sets(topology: Topology, flows_per_set: int, set_count: int,
+                   seed: int = 0) -> list[list[tuple[int, int]]]:
+    """Random sets of concurrent flows (Fig 4-5: 40 runs per flow count)."""
+    rng = np.random.default_rng(seed)
+    candidates = reachable_pairs(topology)
+    if len(candidates) < flows_per_set:
+        raise ValueError("not enough reachable pairs for the requested flow count")
+    sets = []
+    for _ in range(set_count):
+        indices = rng.choice(len(candidates), size=flows_per_set, replace=False)
+        sets.append([candidates[int(i)] for i in indices])
+    return sets
+
+
+def challenged_pairs(topology: Topology, count: int, seed: int = 0,
+                     max_direct_delivery: float = 0.2, min_hops: int = 2) -> list[tuple[int, int]]:
+    """Pairs with poor direct connectivity and multi-hop best paths.
+
+    These are the "challenged flows" for which the paper reports the biggest
+    opportunistic-routing gains (Section 4.2.2).
+    """
+    rng = np.random.default_rng(seed)
+    candidates = [
+        (source, destination)
+        for source, destination in reachable_pairs(topology, min_hops=min_hops)
+        if topology.delivery(source, destination) <= max_direct_delivery
+    ]
+    if not candidates:
+        return []
+    if count >= len(candidates):
+        return candidates
+    indices = rng.choice(len(candidates), size=count, replace=False)
+    return [candidates[int(i)] for i in indices]

@@ -1,0 +1,120 @@
+"""Scalar and vectorised arithmetic over GF(2^8).
+
+Two layers are provided:
+
+* scalar helpers (``add``, ``mul``, ``div``, ``inv``, ``pow``) operating on
+  Python ints, used by the matrix code and in tests;
+* vectorised kernels operating on numpy ``uint8`` arrays, used on packet
+  payloads, where a 1500-byte packet is a vector of 1500 field elements.
+
+The vector kernels implement exactly the operations MORE performs per packet:
+multiply a payload by a coefficient and XOR-accumulate it into a buffer
+(``scale_and_add``), which is the inner loop of both coding and decoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.tables import EXP, FIELD_SIZE, INV, LOG, MUL
+
+
+def add(a: int, b: int) -> int:
+    """Add two field elements (addition in GF(2^8) is XOR)."""
+    return (a ^ b) & 0xFF
+
+
+def sub(a: int, b: int) -> int:
+    """Subtract two field elements (identical to addition in GF(2^8))."""
+    return (a ^ b) & 0xFF
+
+
+def mul(a: int, b: int) -> int:
+    """Multiply two field elements via the product table."""
+    return int(MUL[a & 0xFF, b & 0xFF])
+
+
+def inv(a: int) -> int:
+    """Return the multiplicative inverse of ``a``.
+
+    Raises:
+        ZeroDivisionError: if ``a`` is zero.
+    """
+    if a & 0xFF == 0:
+        raise ZeroDivisionError("0 has no multiplicative inverse in GF(2^8)")
+    return int(INV[a & 0xFF])
+
+
+def div(a: int, b: int) -> int:
+    """Divide ``a`` by ``b`` in the field."""
+    if b & 0xFF == 0:
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    if a & 0xFF == 0:
+        return 0
+    return int(EXP[(LOG[a & 0xFF] - LOG[b & 0xFF]) % (FIELD_SIZE - 1)])
+
+
+def power(a: int, exponent: int) -> int:
+    """Raise a field element to an integer power."""
+    a &= 0xFF
+    if exponent == 0:
+        return 1
+    if a == 0:
+        return 0
+    log_total = (int(LOG[a]) * exponent) % (FIELD_SIZE - 1)
+    return int(EXP[log_total])
+
+
+def vec_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise addition of two byte vectors."""
+    return np.bitwise_xor(a, b)
+
+
+def vec_scale(vector: np.ndarray, coefficient: int) -> np.ndarray:
+    """Multiply every element of ``vector`` by the scalar ``coefficient``.
+
+    This is a single row lookup in the 64 KiB product table, mirroring the
+    paper's implementation trick.
+    """
+    coefficient &= 0xFF
+    if coefficient == 0:
+        return np.zeros_like(vector)
+    if coefficient == 1:
+        return vector.copy()
+    return MUL[coefficient][vector]
+
+
+def scale_and_add(accumulator: np.ndarray, vector: np.ndarray, coefficient: int) -> None:
+    """In-place ``accumulator ^= coefficient * vector``.
+
+    This is the hot loop of coding, pre-coding and decoding.  The
+    accumulator is modified in place so forwarders can maintain their
+    pre-coded packet incrementally (Section 3.2.3(c)).
+    """
+    coefficient &= 0xFF
+    if coefficient == 0:
+        return
+    if coefficient == 1:
+        np.bitwise_xor(accumulator, vector, out=accumulator)
+        return
+    np.bitwise_xor(accumulator, MUL[coefficient][vector], out=accumulator)
+
+
+def vec_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise product of two byte vectors."""
+    return MUL[a, b]
+
+
+def random_coefficients(count: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``count`` random field elements uniformly from GF(2^8).
+
+    Zero coefficients are allowed, matching random linear network coding:
+    the probability that a whole code vector is degenerate is negligible for
+    the batch sizes MORE uses (K >= 8).
+    """
+    return rng.integers(0, FIELD_SIZE, size=count, dtype=np.uint8)
+
+
+def random_nonzero_coefficient(rng: np.random.Generator) -> int:
+    """Draw a single non-zero random field element."""
+    return int(rng.integers(1, FIELD_SIZE))

@@ -1,0 +1,19 @@
+"""Routing protocols: MORE (the contribution), ExOR and Srcr (the baselines)."""
+
+from repro.protocols.base import ProtocolAgent
+from repro.protocols.exor import ExorAgent, ExorFlowHandle, setup_exor_flow
+from repro.protocols.more import MoreAgent, MoreFlowHandle, setup_more_flow
+from repro.protocols.srcr import SrcrAgent, SrcrFlowHandle, setup_srcr_flow
+
+__all__ = [
+    "ExorAgent",
+    "ExorFlowHandle",
+    "MoreAgent",
+    "MoreFlowHandle",
+    "ProtocolAgent",
+    "SrcrAgent",
+    "SrcrFlowHandle",
+    "setup_exor_flow",
+    "setup_more_flow",
+    "setup_srcr_flow",
+]

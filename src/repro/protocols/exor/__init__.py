@@ -1,0 +1,25 @@
+"""ExOR: opportunistic routing with a strict MAC schedule (the prior art)."""
+
+from repro.protocols.exor.agent import (
+    DEFAULT_COMPLETION_THRESHOLD,
+    ExorAgent,
+    ExorControlPayload,
+    ExorDataPayload,
+    ExorFlowHandle,
+    ExorFlowSpec,
+    ExorMapPayload,
+    ExorScheduler,
+    setup_exor_flow,
+)
+
+__all__ = [
+    "DEFAULT_COMPLETION_THRESHOLD",
+    "ExorAgent",
+    "ExorControlPayload",
+    "ExorDataPayload",
+    "ExorFlowHandle",
+    "ExorFlowSpec",
+    "ExorMapPayload",
+    "ExorScheduler",
+    "setup_exor_flow",
+]

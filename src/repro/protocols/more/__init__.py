@@ -1,0 +1,30 @@
+"""MORE: MAC-independent Opportunistic Routing & Encoding."""
+
+from repro.protocols.more.agent import (
+    MoreAckPayload,
+    MoreAgent,
+    MoreDataPayload,
+    MoreFlowSpec,
+)
+from repro.protocols.more.flow import MoreFlowHandle, setup_more_flow
+from repro.protocols.more.header import (
+    CREDIT_SCALE,
+    MAX_FORWARDERS,
+    ForwarderEntry,
+    MoreHeader,
+    MorePacketType,
+)
+
+__all__ = [
+    "CREDIT_SCALE",
+    "ForwarderEntry",
+    "MAX_FORWARDERS",
+    "MoreAckPayload",
+    "MoreAgent",
+    "MoreDataPayload",
+    "MoreFlowHandle",
+    "MoreFlowSpec",
+    "MoreHeader",
+    "MorePacketType",
+    "setup_more_flow",
+]

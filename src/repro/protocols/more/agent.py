@@ -1,0 +1,479 @@
+"""MORE protocol agent: source, forwarder and destination roles (Chapter 3).
+
+One :class:`MoreAgent` runs on every participating node and multiplexes any
+number of flows, holding the per-flow state of Section 3.3.2:
+
+* the **source** keeps one :class:`~repro.coding.encoder.SourceEncoder` per
+  batch and keeps transmitting coded packets of the current batch until the
+  batch ACK arrives;
+* a **forwarder** keeps a batch buffer of innovative packets, a credit
+  counter incremented by its TX credit on every packet heard from upstream
+  and decremented on every transmission, and a pre-coded packet that is
+  refreshed whenever an innovative packet arrives;
+* the **destination** keeps a decoder, sends a batch ACK on the reverse
+  best-ETX path as soon as it has K innovative packets and then decodes.
+
+ACKs are unicast hop-by-hop with MAC-layer reliability, are prioritised over
+data, and are snooped by every overhearing forwarder, which then flushes the
+acked batch (Section 3.3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.coding.decoder import BatchDecoder
+from repro.coding.encoder import ForwarderEncoder, SourceEncoder
+from repro.coding.packet import Batch, CodedPacket
+from repro.protocols.base import ProtocolAgent
+from repro.protocols.more.header import ForwarderEntry, MoreHeader, MorePacketType
+from repro.sim.frames import BROADCAST, Frame, FrameKind
+
+#: Size in bytes of a serialised batch ACK (header only, no code vector).
+ACK_SIZE_BYTES = 20
+#: MAC priority for batch ACKs (served before data).
+ACK_PRIORITY = 10
+
+
+@dataclass
+class MoreFlowSpec:
+    """Static description of one MORE flow, shared by all its agents.
+
+    Attributes:
+        flow_id: unique flow identifier.
+        source: source node id.
+        destination: destination node id.
+        batch_size: nominal K (the last batch may be smaller).
+        packet_size: native packet size in bytes (used for air time).
+        coding_payload_size: byte length actually carried through the coding
+            pipeline; equals ``packet_size`` for full-fidelity runs and can
+            be reduced to speed up large simulations without changing the
+            protocol behaviour (air time still uses ``packet_size``).
+        forwarders: forwarder-list entries (intermediate nodes, closest to
+            the destination first) with their TX credits.
+        tx_credit: node id -> TX credit (Eq. 3.3).
+        distances: node id -> ETX distance to the destination, used to
+            decide which receptions are "from upstream".
+        ack_route: node list from destination to source used by batch ACKs.
+        total_packets: total native packets in the transfer.
+        batch_count: number of batches.
+        bitrate: optional fixed bit-rate override for this flow's data.
+    """
+
+    flow_id: int
+    source: int
+    destination: int
+    batch_size: int
+    packet_size: int
+    coding_payload_size: int
+    forwarders: list[ForwarderEntry]
+    tx_credit: dict[int, float]
+    distances: dict[int, float]
+    ack_route: list[int]
+    total_packets: int
+    batch_count: int
+    bitrate: int | None = None
+
+    def header_size(self) -> int:
+        """Size of the MORE data header for this flow."""
+        header = MoreHeader(
+            packet_type=MorePacketType.DATA,
+            source=self.source,
+            destination=self.destination,
+            flow_id=self.flow_id,
+            batch_id=0,
+            code_vector=np.zeros(self.batch_size, dtype=np.uint8),
+            forwarders=self.forwarders,
+        )
+        return header.size_bytes()
+
+    def data_frame_size(self) -> int:
+        """On-air payload size of a MORE data frame."""
+        return self.packet_size + self.header_size()
+
+    def ack_next_hop(self, node_id: int) -> int | None:
+        """Next hop toward the source on the ACK route, or None."""
+        if node_id not in self.ack_route:
+            return None
+        position = self.ack_route.index(node_id)
+        if position + 1 >= len(self.ack_route):
+            return None
+        return self.ack_route[position + 1]
+
+    def is_upstream(self, sender: int, receiver: int) -> bool:
+        """True if ``sender`` is farther from the destination than ``receiver``."""
+        sender_distance = self.distances.get(sender)
+        receiver_distance = self.distances.get(receiver)
+        if sender_distance is None or receiver_distance is None:
+            return False
+        return sender_distance > receiver_distance
+
+
+@dataclass
+class MoreDataPayload:
+    """Payload attached to MORE data frames."""
+
+    header: MoreHeader
+    coded: CodedPacket
+
+
+@dataclass
+class MoreAckPayload:
+    """Payload attached to MORE batch ACK frames."""
+
+    flow_id: int
+    batch_id: int
+
+
+class _SourceState:
+    """Per-flow state held by the source node."""
+
+    def __init__(self, spec: MoreFlowSpec, batches: list[Batch], rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.encoders = [SourceEncoder(batch, rng) for batch in batches]
+        self.batches = batches
+        self.current_batch = 0
+        self.acked: set[int] = set()
+
+    @property
+    def done(self) -> bool:
+        """True once every batch of the transfer has been acknowledged."""
+        return len(self.acked) >= len(self.encoders)
+
+    def handle_ack(self, batch_id: int) -> None:
+        """Record a batch ACK and advance to the next batch."""
+        self.acked.add(batch_id)
+        while self.current_batch < len(self.encoders) and self.current_batch in self.acked:
+            self.current_batch += 1
+
+
+class _ForwarderState:
+    """Per-flow state held by an intermediate forwarder."""
+
+    def __init__(self, spec: MoreFlowSpec, node_id: int, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.node_id = node_id
+        self.rng = rng
+        self.tx_credit = spec.tx_credit.get(node_id, 0.0)
+        self.credit = 0.0
+        self.current_batch = 0
+        self.encoder: ForwarderEncoder | None = None
+
+    def _ensure_encoder(self, batch_size: int, batch_id: int) -> ForwarderEncoder:
+        if self.encoder is None or self.encoder.buffer.batch_size != batch_size \
+                or self.encoder.batch_id != batch_id:
+            self.encoder = ForwarderEncoder(
+                batch_size=batch_size,
+                packet_size=self.spec.coding_payload_size,
+                rng=self.rng,
+                batch_id=batch_id,
+            )
+        return self.encoder
+
+    def flush(self, new_batch: int) -> None:
+        """Drop buffered packets and credit when a batch is superseded or acked."""
+        self.current_batch = new_batch
+        self.credit = 0.0
+        self.encoder = None
+
+    def handle_data(self, header: MoreHeader, coded: CodedPacket) -> bool:
+        """Process a data packet heard for this flow; return True if buffered."""
+        if header.batch_id < self.current_batch:
+            return False
+        if header.batch_id > self.current_batch:
+            self.flush(header.batch_id)
+        encoder = self._ensure_encoder(coded.batch_size, header.batch_id)
+        return encoder.add_packet(coded)
+
+    @property
+    def backlogged(self) -> bool:
+        """True if the forwarder currently owes transmissions (Section 3.3.3)."""
+        return (self.credit > 0.0 and self.encoder is not None
+                and self.encoder.has_data())
+
+
+class _DestinationState:
+    """Per-flow state held by the destination node."""
+
+    def __init__(self, spec: MoreFlowSpec) -> None:
+        self.spec = spec
+        self.current_batch = 0
+        self.decoder: BatchDecoder | None = None
+        self.completed: set[int] = set()
+        self.decoded_payloads: list[np.ndarray] = []
+
+    def _ensure_decoder(self, batch_size: int, batch_id: int) -> BatchDecoder:
+        if self.decoder is None or self.decoder.batch_id != batch_id \
+                or self.decoder.batch_size != batch_size:
+            self.decoder = BatchDecoder(
+                batch_size=batch_size,
+                packet_size=self.spec.coding_payload_size,
+                batch_id=batch_id,
+            )
+        return self.decoder
+
+    def handle_data(self, header: MoreHeader, coded: CodedPacket) -> tuple[bool, bool]:
+        """Process a data packet; returns (innovative, batch_just_completed)."""
+        batch_id = header.batch_id
+        if batch_id in self.completed or batch_id < self.current_batch:
+            return False, False
+        if batch_id > self.current_batch:
+            self.current_batch = batch_id
+            self.decoder = None
+        decoder = self._ensure_decoder(coded.batch_size, batch_id)
+        innovative = decoder.add_packet(coded)
+        if decoder.is_complete and batch_id not in self.completed:
+            self.completed.add(batch_id)
+            for native in decoder.decode():
+                self.decoded_payloads.append(native.payload)
+            return innovative, True
+        return innovative, False
+
+
+class MoreAgent(ProtocolAgent):
+    """The MORE routing agent running on one node."""
+
+    protocol_name = "MORE"
+
+    def __init__(self, node_id: int, seed: int = 0) -> None:
+        super().__init__(node_id)
+        self.rng = np.random.default_rng((seed, node_id))
+        self.source_flows: dict[int, _SourceState] = {}
+        self.forward_flows: dict[int, _ForwarderState] = {}
+        self.destination_flows: dict[int, _DestinationState] = {}
+        self.specs: dict[int, MoreFlowSpec] = {}
+        self._ack_queue: list[Frame] = []
+        self._round_robin = 0
+        # Counters for the overhead analysis.
+        self.data_sent = 0
+        self.acks_sent = 0
+        self.innovative_received = 0
+        self.non_innovative_received = 0
+
+    # ------------------------------------------------------------------ #
+    # Flow installation (called by the flow builder)
+    # ------------------------------------------------------------------ #
+
+    def install_source(self, spec: MoreFlowSpec, batches: list[Batch]) -> None:
+        """Install source-side state for a flow originating at this node."""
+        self.specs[spec.flow_id] = spec
+        self.source_flows[spec.flow_id] = _SourceState(spec, batches, self.rng)
+
+    def install_forwarder(self, spec: MoreFlowSpec) -> None:
+        """Install forwarder-side state for a flow this node may relay."""
+        self.specs[spec.flow_id] = spec
+        self.forward_flows[spec.flow_id] = _ForwarderState(spec, self.node_id, self.rng)
+
+    def install_destination(self, spec: MoreFlowSpec) -> None:
+        """Install destination-side state for a flow terminating at this node."""
+        self.specs[spec.flow_id] = spec
+        self.destination_flows[spec.flow_id] = _DestinationState(spec)
+
+    def install_ack_relay(self, spec: MoreFlowSpec) -> None:
+        """Register the flow spec so this node can relay its batch ACKs."""
+        self.specs[spec.flow_id] = spec
+
+    # ------------------------------------------------------------------ #
+    # MAC interface
+    # ------------------------------------------------------------------ #
+
+    def has_pending(self, now: float) -> bool:
+        if self._ack_queue:
+            return True
+        if any(not state.done for state in self.source_flows.values()):
+            return True
+        return any(state.backlogged for state in self.forward_flows.values())
+
+    def on_transmit_opportunity(self, now: float) -> Frame | None:
+        # Batch ACKs have strict priority (Section 3.2.2).
+        if self._ack_queue:
+            return self._ack_queue[0]
+        flows = self._backlogged_flow_ids()
+        if not flows:
+            return None
+        # Round-robin over backlogged flows (Section 3.3.3, sender side).
+        self._round_robin = (self._round_robin + 1) % len(flows)
+        flow_id = flows[self._round_robin]
+        if flow_id in self.source_flows and not self.source_flows[flow_id].done:
+            return self._make_source_frame(flow_id)
+        return self._make_forwarder_frame(flow_id)
+
+    def _backlogged_flow_ids(self) -> list[int]:
+        flows = [fid for fid, state in self.source_flows.items() if not state.done]
+        flows.extend(fid for fid, state in self.forward_flows.items()
+                     if state.backlogged and fid not in flows)
+        return sorted(flows)
+
+    def select_bitrate(self, frame: Frame) -> int | None:
+        spec = self.specs.get(frame.flow_id)
+        if spec is not None and frame.kind is FrameKind.DATA:
+            return spec.bitrate
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Frame construction
+    # ------------------------------------------------------------------ #
+
+    def _make_source_frame(self, flow_id: int) -> Frame:
+        state = self.source_flows[flow_id]
+        spec = state.spec
+        encoder = state.encoders[state.current_batch]
+        coded = encoder.next_packet()
+        header = MoreHeader(
+            packet_type=MorePacketType.DATA,
+            source=spec.source,
+            destination=spec.destination,
+            flow_id=flow_id,
+            batch_id=state.current_batch,
+            code_vector=coded.code_vector,
+            forwarders=spec.forwarders,
+        )
+        self.data_sent += 1
+        return Frame(
+            sender=self.node_id,
+            receiver=BROADCAST,
+            kind=FrameKind.DATA,
+            flow_id=flow_id,
+            size_bytes=spec.data_frame_size(),
+            payload=MoreDataPayload(header=header, coded=coded),
+        )
+
+    def _make_forwarder_frame(self, flow_id: int) -> Frame | None:
+        state = self.forward_flows.get(flow_id)
+        if state is None or not state.backlogged:
+            return None
+        spec = state.spec
+        assert state.encoder is not None
+        coded = state.encoder.next_packet()
+        state.credit -= 1.0
+        header = MoreHeader(
+            packet_type=MorePacketType.DATA,
+            source=spec.source,
+            destination=spec.destination,
+            flow_id=flow_id,
+            batch_id=state.current_batch,
+            code_vector=coded.code_vector,
+            forwarders=spec.forwarders,
+        )
+        self.data_sent += 1
+        return Frame(
+            sender=self.node_id,
+            receiver=BROADCAST,
+            kind=FrameKind.DATA,
+            flow_id=flow_id,
+            size_bytes=spec.data_frame_size(),
+            payload=MoreDataPayload(header=header, coded=coded),
+        )
+
+    def _queue_ack(self, spec: MoreFlowSpec, batch_id: int) -> None:
+        """Queue a batch ACK toward the source (next hop on the ACK route)."""
+        next_hop = spec.ack_next_hop(self.node_id)
+        if next_hop is None:
+            return
+        frame = Frame(
+            sender=self.node_id,
+            receiver=next_hop,
+            kind=FrameKind.BATCH_ACK,
+            flow_id=spec.flow_id,
+            size_bytes=ACK_SIZE_BYTES,
+            payload=MoreAckPayload(flow_id=spec.flow_id, batch_id=batch_id),
+            priority=ACK_PRIORITY,
+        )
+        self._ack_queue.append(frame)
+        self.acks_sent += 1
+        self.notify_pending()
+
+    # ------------------------------------------------------------------ #
+    # Reception handling
+    # ------------------------------------------------------------------ #
+
+    def on_frame_received(self, frame: Frame, now: float) -> None:
+        if frame.kind is FrameKind.BATCH_ACK and isinstance(frame.payload, MoreAckPayload):
+            self._handle_ack(frame, frame.payload, now)
+            return
+        if frame.kind is FrameKind.DATA and isinstance(frame.payload, MoreDataPayload):
+            self._handle_data(frame, frame.payload, now)
+
+    def _handle_ack(self, frame: Frame, ack: MoreAckPayload, now: float) -> None:
+        spec = self.specs.get(ack.flow_id)
+        # Every node that overhears the ACK flushes the acked batch
+        # (Section 3.3.4), whether or not it is the MAC receiver.
+        forwarder = self.forward_flows.get(ack.flow_id)
+        if forwarder is not None and ack.batch_id >= forwarder.current_batch:
+            forwarder.flush(ack.batch_id + 1)
+        if frame.receiver != self.node_id or spec is None:
+            return
+        if self.node_id == spec.source:
+            state = self.source_flows.get(ack.flow_id)
+            if state is not None:
+                state.handle_ack(ack.batch_id)
+                self.notify_pending()
+            return
+        # Relay the ACK one hop closer to the source.
+        self._queue_ack(spec, ack.batch_id)
+
+    def _handle_data(self, frame: Frame, payload: MoreDataPayload, now: float) -> None:
+        header = payload.header
+        spec = self.specs.get(header.flow_id)
+        if spec is None:
+            return
+
+        if self.node_id == spec.destination:
+            self._handle_data_at_destination(spec, header, payload.coded, now)
+            return
+
+        if self.node_id not in header.forwarder_ids() and self.node_id != spec.source:
+            return
+        if self.node_id == spec.source:
+            # The source ignores data packets of its own flow.
+            return
+
+        state = self.forward_flows.get(header.flow_id)
+        if state is None:
+            return
+        if header.batch_id >= state.current_batch and spec.is_upstream(frame.sender, self.node_id):
+            # Credit increases for every packet heard from upstream
+            # (Section 3.3.3), before the innovation check.
+            if header.batch_id > state.current_batch:
+                state.flush(header.batch_id)
+            state.credit += state.tx_credit
+        innovative = state.handle_data(header, payload.coded)
+        if innovative:
+            self.innovative_received += 1
+        else:
+            self.non_innovative_received += 1
+        if state.backlogged:
+            self.notify_pending()
+
+    def _handle_data_at_destination(self, spec: MoreFlowSpec, header: MoreHeader,
+                                    coded: CodedPacket, now: float) -> None:
+        state = self.destination_flows.get(header.flow_id)
+        if state is None:
+            return
+        innovative, completed = state.handle_data(header, coded)
+        if innovative:
+            self.innovative_received += 1
+        else:
+            self.non_innovative_received += 1
+            if self.sim is not None:
+                self.sim.stats.record_duplicate(header.flow_id)
+        if completed and self.sim is not None:
+            batch_packets = coded.batch_size
+            self.sim.stats.record_delivery(header.flow_id, batch_packets, now,
+                                           batch_complete=True)
+            self._queue_ack(spec, header.batch_id)
+
+    # ------------------------------------------------------------------ #
+    # MAC completion callbacks
+    # ------------------------------------------------------------------ #
+
+    def on_frame_sent(self, frame: Frame, success: bool, now: float) -> None:
+        if frame.kind is FrameKind.BATCH_ACK:
+            if self._ack_queue and self._ack_queue[0] is frame:
+                if success:
+                    self._ack_queue.pop(0)
+                # On failure the ACK stays queued and will be retried at the
+                # next opportunity (Section 3.3.4: reliable, prioritised).
+            self.notify_pending()

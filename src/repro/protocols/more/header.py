@@ -1,0 +1,142 @@
+"""MORE packet header (Section 3.3.1, Figure 3-1).
+
+Every MORE packet starts with a small set of required fields (type, source,
+destination, flow id, batch id) followed by optional fields: the code vector
+(data packets only) and the forwarder list with per-forwarder TX credits.
+
+The paper bounds the header at roughly 70 bytes by limiting the forwarder
+list to 10 entries, hashing node ids to one byte and compressing batch ids;
+this implementation reproduces those choices so the <5% header-overhead
+claim of Section 4.6(c) can be checked against real serialised bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+#: Maximum number of forwarders carried in a header (Section 4.6(c)).
+MAX_FORWARDERS = 10
+
+#: Fixed-point scale used to quantise TX credits into one byte (4.4 format).
+CREDIT_SCALE = 16
+
+
+class MorePacketType(IntEnum):
+    """Packet type field: data packets vs batch ACKs."""
+
+    DATA = 0
+    ACK = 1
+
+
+@dataclass
+class ForwarderEntry:
+    """One forwarder-list entry: node id plus its TX credit."""
+
+    node_id: int
+    tx_credit: float
+
+    def quantized_credit(self) -> int:
+        """Credit quantised to 4.4 fixed point (saturating)."""
+        return min(255, max(0, int(round(self.tx_credit * CREDIT_SCALE))))
+
+
+@dataclass
+class MoreHeader:
+    """The MORE header carried in front of every data packet and batch ACK.
+
+    Attributes:
+        packet_type: DATA or ACK.
+        source: source node id of the flow.
+        destination: destination node id of the flow.
+        flow_id: flow identifier.
+        batch_id: batch the packet belongs to.
+        code_vector: combination coefficients (data packets only).
+        forwarders: the forwarder list with TX credits, ordered by
+            increasing distance (ETX) to the destination.
+    """
+
+    packet_type: MorePacketType
+    source: int
+    destination: int
+    flow_id: int
+    batch_id: int
+    code_vector: np.ndarray | None = None
+    forwarders: list[ForwarderEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.forwarders) > MAX_FORWARDERS:
+            # Keep the closest-to-destination forwarders (list is ordered).
+            self.forwarders = self.forwarders[:MAX_FORWARDERS]
+        if self.code_vector is not None:
+            self.code_vector = np.asarray(self.code_vector, dtype=np.uint8)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    _REQUIRED = struct.Struct("!BIIHBBB")  # type, src, dst, flow, batch, K, n_fwd
+
+    def pack(self) -> bytes:
+        """Serialise the header to bytes."""
+        vector = self.code_vector if self.code_vector is not None else np.zeros(0, np.uint8)
+        parts = [
+            self._REQUIRED.pack(
+                int(self.packet_type),
+                self.source & 0xFFFFFFFF,
+                self.destination & 0xFFFFFFFF,
+                self.flow_id & 0xFFFF,
+                self.batch_id & 0xFF,
+                len(vector) & 0xFF,
+                len(self.forwarders) & 0xFF,
+            ),
+            vector.tobytes(),
+        ]
+        for entry in self.forwarders:
+            parts.append(struct.pack("!BB", entry.node_id & 0xFF, entry.quantized_credit()))
+        return b"".join(parts)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "MoreHeader":
+        """Parse a header previously produced by :meth:`pack`."""
+        required_size = cls._REQUIRED.size
+        if len(data) < required_size:
+            raise ValueError("buffer too small for a MORE header")
+        (packet_type, source, destination, flow_id, batch_id,
+         vector_length, forwarder_count) = cls._REQUIRED.unpack_from(data, 0)
+        offset = required_size
+        vector = None
+        if vector_length:
+            vector = np.frombuffer(data, dtype=np.uint8, count=vector_length, offset=offset).copy()
+            offset += vector_length
+        forwarders = []
+        for _ in range(forwarder_count):
+            node_id, credit = struct.unpack_from("!BB", data, offset)
+            offset += 2
+            forwarders.append(ForwarderEntry(node_id=node_id, tx_credit=credit / CREDIT_SCALE))
+        return cls(
+            packet_type=MorePacketType(packet_type),
+            source=source,
+            destination=destination,
+            flow_id=flow_id,
+            batch_id=batch_id,
+            code_vector=vector,
+            forwarders=forwarders,
+        )
+
+    def size_bytes(self) -> int:
+        """Serialised header size in bytes."""
+        vector_length = 0 if self.code_vector is None else int(self.code_vector.shape[0])
+        return self._REQUIRED.size + vector_length + 2 * len(self.forwarders)
+
+    def overhead_fraction(self, payload_bytes: int) -> float:
+        """Header overhead as a fraction of the packet (Section 4.6(c))."""
+        total = self.size_bytes() + payload_bytes
+        return self.size_bytes() / total if total else 0.0
+
+    def forwarder_ids(self) -> list[int]:
+        """Node ids in the forwarder list, in priority order."""
+        return [entry.node_id for entry in self.forwarders]

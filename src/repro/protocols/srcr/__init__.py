@@ -1,0 +1,19 @@
+"""Srcr: ETX best-path routing baseline."""
+
+from repro.protocols.srcr.agent import (
+    SRCR_HEADER_BYTES,
+    SrcrAgent,
+    SrcrDataPayload,
+    SrcrFlowHandle,
+    SrcrFlowSpec,
+    setup_srcr_flow,
+)
+
+__all__ = [
+    "SRCR_HEADER_BYTES",
+    "SrcrAgent",
+    "SrcrDataPayload",
+    "SrcrFlowHandle",
+    "SrcrFlowSpec",
+    "setup_srcr_flow",
+]

@@ -1,0 +1,237 @@
+"""Srcr: traditional best-path routing with the ETX metric (Section 4.1.1).
+
+Srcr is the baseline protocol: Dijkstra over link ETX picks a single path,
+every hop forwards packets to its fixed nexthop using link-layer ARQ, and
+nothing is learned from overheard packets.  Optionally the sender runs an
+Onoe-style autorate controller per nexthop (Section 4.4).
+
+Simplifications relative to the Roofnet implementation (documented in
+DESIGN.md): routes are computed once per flow from the known delivery
+probabilities (no probe traffic is simulated), per-node queues are not
+bounded, and a frame that exhausts its MAC retries is re-queued rather than
+dropped, which gives the reliable-file-transfer semantics the evaluation
+measures throughput over.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+
+from repro.metrics.etx import best_path
+from repro.protocols.base import ProtocolAgent
+from repro.sim.autorate import OnoeRateController
+from repro.sim.frames import Frame, FrameKind
+from repro.sim.simulator import Simulator
+from repro.sim.trace import FlowRecord
+from repro.topology.graph import Topology
+
+#: Routing/transport header bytes added to every Srcr data frame.
+SRCR_HEADER_BYTES = 24
+
+_flow_ids = itertools.count(10_000)
+
+
+@dataclass
+class SrcrFlowSpec:
+    """Static description of one Srcr flow."""
+
+    flow_id: int
+    source: int
+    destination: int
+    route: list[int]
+    packet_size: int
+    total_packets: int
+    bitrate: int | None = None
+
+    def next_hop(self, node_id: int) -> int | None:
+        """Next hop after ``node_id`` on the route, or None."""
+        if node_id not in self.route:
+            return None
+        index = self.route.index(node_id)
+        if index + 1 >= len(self.route):
+            return None
+        return self.route[index + 1]
+
+    def frame_size(self) -> int:
+        """On-air payload size of an Srcr data frame."""
+        return self.packet_size + SRCR_HEADER_BYTES
+
+
+@dataclass
+class SrcrDataPayload:
+    """Payload of an Srcr data frame: just the packet sequence number."""
+
+    flow_id: int
+    sequence: int
+
+
+class SrcrAgent(ProtocolAgent):
+    """Srcr forwarding agent (source, relay and destination roles)."""
+
+    protocol_name = "Srcr"
+
+    def __init__(self, node_id: int, use_autorate: bool = False) -> None:
+        super().__init__(node_id)
+        self.specs: dict[int, SrcrFlowSpec] = {}
+        self.queues: dict[int, deque[int]] = {}
+        self.use_autorate = use_autorate
+        self.rate_controller = OnoeRateController() if use_autorate else None
+        self._round_robin = 0
+        self.delivered: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Flow installation
+    # ------------------------------------------------------------------ #
+
+    def install_flow(self, spec: SrcrFlowSpec) -> None:
+        """Register a flow whose route traverses (or originates at) this node."""
+        self.specs[spec.flow_id] = spec
+        self.queues.setdefault(spec.flow_id, deque())
+        if self.node_id == spec.destination:
+            self.delivered.setdefault(spec.flow_id, set())
+
+    def enqueue_source_packets(self, flow_id: int) -> None:
+        """Load the whole transfer into the source queue."""
+        spec = self.specs[flow_id]
+        queue = self.queues[flow_id]
+        queue.extend(range(spec.total_packets))
+        self.notify_pending()
+
+    # ------------------------------------------------------------------ #
+    # MAC interface
+    # ------------------------------------------------------------------ #
+
+    def has_pending(self, now: float) -> bool:
+        return any(queue for queue in self.queues.values())
+
+    def on_transmit_opportunity(self, now: float) -> Frame | None:
+        flow_ids = [fid for fid, queue in self.queues.items() if queue]
+        if not flow_ids:
+            return None
+        self._round_robin = (self._round_robin + 1) % len(flow_ids)
+        flow_id = flow_ids[self._round_robin]
+        spec = self.specs[flow_id]
+        next_hop = spec.next_hop(self.node_id)
+        if next_hop is None:
+            return None
+        sequence = self.queues[flow_id][0]
+        return Frame(
+            sender=self.node_id,
+            receiver=next_hop,
+            kind=FrameKind.DATA,
+            flow_id=flow_id,
+            size_bytes=spec.frame_size(),
+            payload=SrcrDataPayload(flow_id=flow_id, sequence=sequence),
+        )
+
+    def select_bitrate(self, frame: Frame) -> int | None:
+        spec = self.specs.get(frame.flow_id)
+        if self.rate_controller is not None and frame.kind is FrameKind.DATA:
+            return self.rate_controller.current_rate(frame.receiver)
+        if spec is not None:
+            return spec.bitrate
+        return None
+
+    def on_frame_sent(self, frame: Frame, success: bool, now: float) -> None:
+        if frame.kind is not FrameKind.DATA or not isinstance(frame.payload, SrcrDataPayload):
+            return
+        if self.rate_controller is not None:
+            self.rate_controller.record_result(frame.receiver, success,
+                                               max(0, frame.mac_attempts - 1), now)
+        queue = self.queues.get(frame.flow_id)
+        if not queue:
+            return
+        if success and queue and queue[0] == frame.payload.sequence:
+            queue.popleft()
+        # On failure the packet stays at the head of the queue and will be
+        # retried (persistent link-layer retransmission).
+        self.notify_pending()
+
+    # ------------------------------------------------------------------ #
+    # Reception
+    # ------------------------------------------------------------------ #
+
+    def on_frame_received(self, frame: Frame, now: float) -> None:
+        if frame.kind is not FrameKind.DATA or not isinstance(frame.payload, SrcrDataPayload):
+            return
+        if frame.receiver != self.node_id:
+            return  # traditional routing ignores overheard packets
+        spec = self.specs.get(frame.flow_id)
+        if spec is None:
+            return
+        sequence = frame.payload.sequence
+        if self.node_id == spec.destination:
+            seen = self.delivered.setdefault(frame.flow_id, set())
+            if sequence not in seen:
+                seen.add(sequence)
+                if self.sim is not None:
+                    self.sim.stats.record_delivery(frame.flow_id, 1, now)
+            elif self.sim is not None:
+                self.sim.stats.record_duplicate(frame.flow_id)
+            return
+        # Relay toward the destination.
+        self.queues.setdefault(frame.flow_id, deque()).append(sequence)
+        self.notify_pending()
+
+
+@dataclass
+class SrcrFlowHandle:
+    """Handle returned by :func:`setup_srcr_flow`."""
+
+    spec: SrcrFlowSpec
+    record: FlowRecord
+
+    @property
+    def flow_id(self) -> int:
+        """Flow identifier."""
+        return self.spec.flow_id
+
+
+def _get_or_create_agent(sim: Simulator, node_id: int, use_autorate: bool) -> SrcrAgent:
+    existing = sim.nodes[node_id].agent
+    if existing is None:
+        agent = SrcrAgent(node_id, use_autorate=use_autorate)
+        sim.attach_agent(node_id, agent)
+        return agent
+    if not isinstance(existing, SrcrAgent):
+        raise TypeError(
+            f"node {node_id} already runs {existing.protocol_name}; cannot add an Srcr flow"
+        )
+    return existing
+
+
+def setup_srcr_flow(sim: Simulator, topology: Topology, source: int, destination: int,
+                    *, total_packets: int, packet_size: int = 1500,
+                    use_autorate: bool = False, bitrate: int | None = None,
+                    flow_id: int | None = None, start_time: float = 0.0,
+                    control_topology: Topology | None = None) -> SrcrFlowHandle:
+    """Install an Srcr file transfer from ``source`` to ``destination``.
+
+    ``control_topology`` carries the link-quality estimates the route is
+    computed from (defaults to the true topology).
+    """
+    if flow_id is None:
+        flow_id = next(_flow_ids)
+    control = control_topology if control_topology is not None else topology
+    route = best_path(control, source, destination)
+    spec = SrcrFlowSpec(
+        flow_id=flow_id,
+        source=source,
+        destination=destination,
+        route=route,
+        packet_size=packet_size,
+        total_packets=total_packets,
+        bitrate=bitrate,
+    )
+    for node in route:
+        agent = _get_or_create_agent(sim, node, use_autorate)
+        agent.install_flow(spec)
+    source_agent = sim.nodes[source].agent
+    assert isinstance(source_agent, SrcrAgent)
+    record = sim.stats.register_flow(flow_id, source, destination, total_packets,
+                                     packet_size, start_time)
+    sim.events.schedule_at(start_time,
+                           lambda: source_agent.enqueue_source_packets(flow_id))
+    return SrcrFlowHandle(spec=spec, record=record)

@@ -1,0 +1,113 @@
+"""Discrete-event engine.
+
+A minimal but complete event scheduler: events are (time, sequence,
+callback) tuples kept in a binary heap; ties in time are broken by insertion
+order so runs are fully deterministic.  The engine underpins the whole
+wireless substrate — the MAC, the medium and the protocol agents all operate
+by scheduling callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry; ordering is by (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventQueue.schedule`, usable to cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True if the event has been cancelled."""
+        return self._event.cancelled
+
+
+class EventQueue:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._sequence = 0
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        event = _ScheduledEvent(time=self.now + delay, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time."""
+        return self.schedule(max(0.0, time - self.now), callback)
+
+    @property
+    def empty(self) -> bool:
+        """True if no pending (non-cancelled) events remain."""
+        return not any(not e.cancelled for e in self._heap)
+
+    def run(self, until: float | None = None,
+            stop_condition: Callable[[], bool] | None = None,
+            max_events: int | None = None) -> float:
+        """Process events in time order.
+
+        Args:
+            until: stop once the clock would pass this time (the clock is
+                left at ``until``).
+            stop_condition: evaluated after every event; processing stops as
+                soon as it returns True.
+            max_events: hard cap on processed events (guards against
+                run-away protocols in tests).
+
+        Returns:
+            The simulation time when processing stopped.
+        """
+        processed_here = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = event.time
+            event.callback()
+            self.processed += 1
+            processed_here += 1
+            if stop_condition is not None and stop_condition():
+                return self.now
+            if max_events is not None and processed_here >= max_events:
+                return self.now
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now

@@ -1,0 +1,187 @@
+"""CSMA/CA MAC model (802.11 DCF, simplified).
+
+Each node owns one :class:`CsmaMac`.  The MAC pulls frames from the node's
+protocol agent: whenever it wins a transmission opportunity it asks the agent
+for the next frame, which is exactly the interface MORE's design assumes
+("when the 802.11 MAC permits", Section 3.2.1) and what lets MORE remain
+MAC-independent.
+
+Model summary:
+
+* Carrier sense with DIFS + uniform random backoff before every attempt;
+  when the medium is sensed busy, the attempt is deferred until the medium
+  becomes idle (plus a fresh DIFS + backoff).
+* Broadcast frames are transmitted once, with no MAC acknowledgement — this
+  is how MORE and ExOR send data.
+* Unicast frames use stop-and-wait ARQ with exponential backoff up to a
+  retry limit — this is how Srcr data and MORE/ExOR batch ACKs travel.
+  The MAC-level ACK exchange is modelled as a SIFS + ACK-airtime delay on
+  success rather than as a separate frame on the medium; data-frame loss and
+  collisions are modelled in full.
+* Collisions between contenders that can hear each other are avoided by
+  carrier sense (as in real DCF most of the time); collisions from hidden
+  terminals and overlapping transmissions are resolved by the medium.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.sim.frames import Frame
+from repro.sim.medium import Transmission
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.simulator import Simulator
+
+
+class MacState(Enum):
+    """MAC transmit-path state."""
+
+    IDLE = "idle"
+    CONTENDING = "contending"
+    TRANSMITTING = "transmitting"
+    WAITING_TURNAROUND = "waiting_turnaround"
+
+
+class MacStats:
+    """Per-node MAC counters."""
+
+    def __init__(self) -> None:
+        self.data_transmissions = 0
+        self.control_transmissions = 0
+        self.unicast_successes = 0
+        self.unicast_drops = 0
+        self.retries = 0
+        self.busy_time = 0.0
+
+
+class CsmaMac:
+    """One node's CSMA/CA transmit path."""
+
+    def __init__(self, node_id: int, simulator: "Simulator") -> None:
+        self.node_id = node_id
+        self.sim = simulator
+        self.phy = simulator.config.phy
+        self.state = MacState.IDLE
+        self.stats = MacStats()
+        self._current_frame: Frame | None = None
+        self._attempt = 0
+        self._pending_handle = None
+
+    # ------------------------------------------------------------------ #
+    # Agent-facing API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def agent(self):
+        """The protocol agent attached to this node."""
+        return self.sim.nodes[self.node_id].agent
+
+    def trigger(self) -> None:
+        """Notify the MAC that the agent may have frames to send.
+
+        Safe to call at any time; a no-op unless the MAC is idle.
+        """
+        if self.state is not MacState.IDLE:
+            return
+        if self.agent is None or not self.agent.has_pending(self.sim.now):
+            return
+        self._start_contention()
+
+    # ------------------------------------------------------------------ #
+    # Channel access
+    # ------------------------------------------------------------------ #
+
+    def _backoff_delay(self) -> float:
+        """DIFS plus a random backoff drawn from the current contention window."""
+        window = self.phy.contention_window(self._attempt)
+        slots = int(self.sim.rng.integers(0, window + 1))
+        return self.phy.difs + self.phy.backoff_time(slots)
+
+    def _start_contention(self) -> None:
+        """Schedule the next transmission attempt respecting carrier sense."""
+        self.state = MacState.CONTENDING
+        now = self.sim.now
+        delay = self._backoff_delay()
+        if self.sim.medium.is_busy(self.node_id, now):
+            delay += self.sim.medium.busy_until(self.node_id, now) - now
+        self._pending_handle = self.sim.schedule(delay, self._attempt_transmission)
+
+    def _attempt_transmission(self) -> None:
+        """Fire when the backoff expires: transmit if the medium is still idle."""
+        now = self.sim.now
+        if self.sim.medium.is_busy(self.node_id, now):
+            # Someone grabbed the channel during our backoff; defer again.
+            self._start_contention()
+            return
+        frame = self._current_frame
+        if frame is None:
+            frame = self.agent.on_transmit_opportunity(now) if self.agent else None
+        if frame is None:
+            self.state = MacState.IDLE
+            return
+        self._transmit(frame)
+
+    def _transmit(self, frame: Frame) -> None:
+        """Put ``frame`` on the medium."""
+        self.state = MacState.TRANSMITTING
+        self._current_frame = frame
+        self._attempt += 1
+        bitrate = None
+        if self.agent is not None:
+            bitrate = self.agent.select_bitrate(frame)
+        if bitrate is None:
+            bitrate = self.phy.bitrate
+        airtime = self.phy.frame_airtime(frame.size_bytes, bitrate)
+        transmission = self.sim.medium.begin(frame, self.sim.now, airtime, bitrate)
+        if frame.kind.value == "data":
+            self.stats.data_transmissions += 1
+        else:
+            self.stats.control_transmissions += 1
+        self.stats.busy_time += airtime
+        if self.agent is not None:
+            self.agent.on_transmission_started(frame, self.sim.now)
+        self.sim.schedule(airtime, lambda: self._complete(transmission))
+
+    def _complete(self, transmission: Transmission) -> None:
+        """Resolve receptions and run the ARQ logic once the frame leaves the air."""
+        now = self.sim.now
+        receivers = self.sim.medium.complete(transmission, now)
+        frame = transmission.frame
+        self.sim.deliver(frame, receivers)
+
+        if frame.is_broadcast:
+            self._finish_frame(frame, success=True)
+            return
+
+        delivered = frame.receiver in receivers
+        turnaround = self.phy.sifs + self.phy.ack_airtime()
+        if delivered:
+            self.stats.unicast_successes += 1
+            self._defer(turnaround, lambda: self._finish_frame(frame, success=True))
+            return
+        # No MAC ACK: retry with a larger contention window or give up.
+        self.stats.retries += 1
+        if self._attempt > self.phy.retry_limit:
+            self.stats.unicast_drops += 1
+            self._defer(turnaround, lambda: self._finish_frame(frame, success=False))
+            return
+        self.state = MacState.WAITING_TURNAROUND
+        self.sim.schedule(turnaround, self._start_contention)
+
+    def _defer(self, delay: float, action) -> None:
+        """Hold the MAC for the virtual ACK turnaround, then continue."""
+        self.state = MacState.WAITING_TURNAROUND
+        self.sim.schedule(delay, action)
+
+    def _finish_frame(self, frame: Frame, success: bool) -> None:
+        """Report the outcome to the agent and look for more work."""
+        frame.mac_attempts = self._attempt
+        self._current_frame = None
+        self._attempt = 0
+        self.state = MacState.IDLE
+        if self.agent is not None:
+            self.agent.on_frame_sent(frame, success, self.sim.now)
+        # Immediately contend again if the agent still has traffic.
+        self.trigger()

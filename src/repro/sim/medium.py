@@ -1,0 +1,212 @@
+"""The shared broadcast medium: losses, collisions, capture, carrier sense.
+
+The medium owns the per-link delivery probabilities (from the
+:class:`~repro.topology.graph.Topology`) and decides, for every transmission,
+which nodes receive it.  The model:
+
+* **Independent losses** — each potential receiver flips a coin with the
+  link delivery probability (the paper's model, Sections 3.2.1 and 5.3.1).
+* **Half duplex** — a node that is transmitting during any part of a frame
+  cannot receive it.
+* **Collisions** — if another transmission overlaps in time and the
+  interferer is audible at the receiver (delivery probability above the
+  interference threshold), the reception is corrupted ...
+* **Capture effect** — ... unless the wanted signal is sufficiently stronger
+  than the interferer, in which case the frame survives with the configured
+  capture probability (Section 4.2.3 credits capture for part of MORE's gain
+  on short paths).
+* **Carrier sense** — a node senses the medium busy if any ongoing
+  transmission is audible above the sense threshold; this is what enables
+  spatial reuse (distant transmitters do not block each other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.frames import Frame
+from repro.sim.radio import ChannelConfig
+from repro.topology.graph import Topology
+
+
+@dataclass
+class Transmission:
+    """An in-flight (or recently completed) frame transmission."""
+
+    frame: Frame
+    start: float
+    end: float
+    bitrate: int
+    #: Filled in when the transmission completes: node ids that received it.
+    receivers: list[int] = field(default_factory=list)
+
+    def overlaps(self, other: "Transmission") -> bool:
+        """True if the two transmissions are on the air at the same time."""
+        return self.start < other.end and other.start < self.end
+
+
+class WirelessMedium:
+    """Shared-channel model deciding receptions, collisions and carrier sense."""
+
+    def __init__(self, topology: Topology, channel: ChannelConfig,
+                 rng: np.random.Generator) -> None:
+        self.topology = topology
+        self.channel = channel
+        self.rng = rng
+        self._delivery = topology.delivery_matrix()
+        self._sense = self._build_sense_matrix(self._delivery, channel)
+        self._active: list[Transmission] = []
+        self._history: list[Transmission] = []
+        # Statistics.
+        self.transmissions = 0
+        self.receptions = 0
+        self.collisions = 0
+        self.captures = 0
+
+    @staticmethod
+    def _build_sense_matrix(delivery: np.ndarray, channel: ChannelConfig) -> np.ndarray:
+        """Which node pairs can carrier-sense each other.
+
+        Real radios sense energy well below the level needed to decode a
+        frame: the carrier-sense range is roughly twice the communication
+        range.  With only a delivery-probability matrix available we model
+        that as: ``i`` senses ``j`` if it can decode it at all
+        (delivery above the sense threshold) **or** if both can deliver
+        reasonably well to some common neighbour — i.e. they are within two
+        "good hops" of each other, which is where their transmissions could
+        actually collide.  Without this, every pair of forwarders beyond
+        decode range becomes a hidden terminal, which grossly overstates
+        collisions relative to a real 802.11 deployment.
+        """
+        audible = delivery > channel.sense_threshold
+        common = (delivery >= channel.neighbor_sense_threshold) @ \
+                 (delivery >= channel.neighbor_sense_threshold).T
+        sense = audible | audible.T | (common > 0)
+        np.fill_diagonal(sense, False)
+        return sense
+
+    # ------------------------------------------------------------------ #
+    # Carrier sense
+    # ------------------------------------------------------------------ #
+
+    def can_sense(self, listener: int, transmitter: int) -> bool:
+        """True if ``listener`` senses energy from ``transmitter``'s frames."""
+        return bool(self._sense[transmitter, listener])
+
+    def is_busy(self, node: int, now: float) -> bool:
+        """Carrier-sense outcome at ``node``: True if any audible frame is in the air."""
+        self._expire(now)
+        for transmission in self._active:
+            if transmission.end <= now:
+                continue
+            sender = transmission.frame.sender
+            if sender == node:
+                return True  # we are transmitting ourselves
+            if self._sense[sender, node]:
+                return True
+        return False
+
+    def busy_until(self, node: int, now: float) -> float:
+        """Time at which the medium (as sensed by ``node``) becomes idle."""
+        self._expire(now)
+        latest = now
+        for transmission in self._active:
+            if transmission.end <= now:
+                continue
+            sender = transmission.frame.sender
+            if sender == node or self._sense[sender, node]:
+                latest = max(latest, transmission.end)
+        return latest
+
+    def node_is_transmitting(self, node: int, now: float) -> bool:
+        """True if ``node`` has a frame on the air at time ``now``."""
+        return any(t.frame.sender == node and t.start <= now < t.end for t in self._active)
+
+    # ------------------------------------------------------------------ #
+    # Transmission lifecycle
+    # ------------------------------------------------------------------ #
+
+    def begin(self, frame: Frame, now: float, airtime: float, bitrate: int) -> Transmission:
+        """Register the start of a transmission; returns its record."""
+        self._expire(now)
+        transmission = Transmission(frame=frame, start=now, end=now + airtime, bitrate=bitrate)
+        self._active.append(transmission)
+        self.transmissions += 1
+        return transmission
+
+    def complete(self, transmission: Transmission, now: float) -> list[int]:
+        """Resolve receptions when ``transmission`` ends.
+
+        Returns the list of node ids that successfully received the frame.
+        The interference check considers every transmission that overlapped
+        this one at any point.
+        """
+        sender = transmission.frame.sender
+        overlapping = [
+            other for other in self._active + self._history
+            if other is not transmission and other.overlaps(transmission)
+        ]
+        receivers: list[int] = []
+        for node in range(self.topology.node_count):
+            if node == sender:
+                continue
+            probability = self._delivery[sender, node]
+            if probability <= 0.0:
+                continue
+            # Half duplex: a node transmitting during the frame cannot decode it.
+            if any(other.frame.sender == node for other in overlapping):
+                continue
+            if self.rng.random() >= probability:
+                continue  # channel loss
+            if self._corrupted_by_interference(node, probability, overlapping,
+                                               self_sender=sender):
+                self.collisions += 1
+                continue
+            receivers.append(node)
+            self.receptions += 1
+        transmission.receivers = receivers
+        if transmission in self._active:
+            self._active.remove(transmission)
+        self._history.append(transmission)
+        self._prune_history(now)
+        return receivers
+
+    def _corrupted_by_interference(self, node: int, wanted_probability: float,
+                                   overlapping: list[Transmission],
+                                   self_sender: int | None = None) -> bool:
+        """Decide whether concurrent transmissions corrupt the reception."""
+        for other in overlapping:
+            interferer = other.frame.sender
+            if interferer == node:
+                continue
+            if other.frame.sender == self_sender:
+                continue
+            interference = self._delivery[interferer, node]
+            if interference <= self.channel.interference_threshold:
+                continue
+            if wanted_probability - interference >= self.channel.capture_margin:
+                if self.rng.random() < self.channel.capture_probability:
+                    self.captures += 1
+                    continue
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Housekeeping
+    # ------------------------------------------------------------------ #
+
+    def _expire(self, now: float) -> None:
+        """Move finished transmissions that were never completed explicitly."""
+        still_active = []
+        for transmission in self._active:
+            if transmission.end <= now and transmission.receivers:
+                self._history.append(transmission)
+            else:
+                still_active.append(transmission)
+        self._active = still_active
+
+    def _prune_history(self, now: float, horizon: float = 0.1) -> None:
+        """Forget completed transmissions older than ``horizon`` seconds."""
+        self._history = [t for t in self._history if t.end >= now - horizon]

@@ -1,0 +1,34 @@
+"""Simulation node: glue between the MAC and a protocol agent."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.mac import CsmaMac
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.protocols.base import ProtocolAgent
+    from repro.sim.simulator import Simulator
+
+
+class SimNode:
+    """One wireless router in the simulation.
+
+    A node owns its MAC and hosts at most one protocol agent (the agent
+    itself may multiplex several flows, as MORE forwarders do).
+    """
+
+    def __init__(self, node_id: int, simulator: "Simulator") -> None:
+        self.node_id = node_id
+        self.sim = simulator
+        self.mac = CsmaMac(node_id, simulator)
+        self.agent: "ProtocolAgent | None" = None
+
+    def attach(self, agent: "ProtocolAgent") -> None:
+        """Attach a protocol agent to this node."""
+        self.agent = agent
+        agent.bind(self)
+
+    def notify_pending(self) -> None:
+        """Tell the MAC that the agent (may) have new frames queued."""
+        self.mac.trigger()

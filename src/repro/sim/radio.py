@@ -1,0 +1,112 @@
+"""802.11b PHY/MAC timing parameters and frame air-time computation.
+
+The evaluation runs over 802.11b at a fixed bit-rate of 5.5 Mb/s (11 Mb/s
+for the autorate comparison), with long-preamble DSSS timing.  These
+constants determine how long a frame occupies the medium, which in turn sets
+the absolute throughput scale of the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: 802.11b data rates in bits per second.
+RATE_1MBPS = 1_000_000
+RATE_2MBPS = 2_000_000
+RATE_5_5MBPS = 5_500_000
+RATE_11MBPS = 11_000_000
+
+#: All supported 802.11b rates, ascending.
+SUPPORTED_RATES = (RATE_1MBPS, RATE_2MBPS, RATE_5_5MBPS, RATE_11MBPS)
+
+
+@dataclass(frozen=True)
+class PhyConfig:
+    """Physical and MAC layer timing configuration (802.11b DSSS defaults).
+
+    Attributes:
+        bitrate: data bit-rate in b/s.
+        preamble_time: PLCP preamble + header duration (long preamble).
+        slot_time: backoff slot duration.
+        sifs: short inter-frame space.
+        difs: DCF inter-frame space.
+        cw_min: minimum contention window (slots).
+        cw_max: maximum contention window (slots).
+        mac_overhead_bytes: MAC header + FCS bytes added to every frame.
+        ack_bytes: size of a MAC-level ACK frame.
+        ack_bitrate: rate at which MAC ACKs are sent.
+        retry_limit: maximum transmission attempts for unicast frames.
+    """
+
+    bitrate: int = RATE_5_5MBPS
+    preamble_time: float = 192e-6
+    slot_time: float = 20e-6
+    sifs: float = 10e-6
+    difs: float = 50e-6
+    cw_min: int = 31
+    cw_max: int = 1023
+    mac_overhead_bytes: int = 34
+    ack_bytes: int = 14
+    ack_bitrate: int = RATE_1MBPS
+    retry_limit: int = 7
+
+    def frame_airtime(self, payload_bytes: int, bitrate: int | None = None) -> float:
+        """Time (s) a data frame of ``payload_bytes`` occupies the medium."""
+        rate = bitrate if bitrate is not None else self.bitrate
+        if rate <= 0:
+            raise ValueError("bitrate must be positive")
+        bits = (payload_bytes + self.mac_overhead_bytes) * 8
+        return self.preamble_time + bits / rate
+
+    def ack_airtime(self) -> float:
+        """Time (s) a MAC-level ACK occupies the medium."""
+        return self.preamble_time + self.ack_bytes * 8 / self.ack_bitrate
+
+    def backoff_time(self, slots: int) -> float:
+        """Duration of ``slots`` backoff slots."""
+        return slots * self.slot_time
+
+    def contention_window(self, attempt: int) -> int:
+        """Contention window for the given (0-based) retry attempt."""
+        window = (self.cw_min + 1) * (2 ** attempt) - 1
+        return min(window, self.cw_max)
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Reception / interference model parameters.
+
+    Attributes:
+        sense_threshold: minimum delivery probability at which a node can
+            directly carrier-sense an ongoing transmission (carrier sense is
+            more sensitive than successful decoding).
+        neighbor_sense_threshold: two nodes that can each deliver to a
+            common neighbour with at least this probability are considered
+            within carrier-sense range of each other even when they cannot
+            decode each other's frames (the sense range of real radios is
+            roughly twice the decode range).
+        interference_threshold: minimum delivery probability at which a
+            concurrent transmission corrupts a reception at a node.
+        capture_margin: if the wanted frame's delivery probability exceeds
+            the interferer's by at least this margin, the capture effect may
+            save the reception (Section 4.2.3 discusses capture).
+        capture_probability: probability that capture succeeds when the
+            margin condition holds.
+    """
+
+    sense_threshold: float = 0.10
+    neighbor_sense_threshold: float = 0.20
+    interference_threshold: float = 0.10
+    capture_margin: float = 0.35
+    capture_probability: float = 0.7
+
+
+@dataclass
+class SimConfig:
+    """Top-level simulator configuration."""
+
+    phy: PhyConfig = field(default_factory=PhyConfig)
+    channel: ChannelConfig = field(default_factory=ChannelConfig)
+    seed: int = 0
+    #: Maximum simulated seconds for a single flow transfer before giving up.
+    max_duration: float = 300.0

@@ -1,0 +1,82 @@
+"""Top-level simulator tying together topology, medium, MACs and agents."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.events import EventHandle, EventQueue
+from repro.sim.frames import Frame
+from repro.sim.medium import WirelessMedium
+from repro.sim.node import SimNode
+from repro.sim.radio import SimConfig
+from repro.sim.trace import StatsCollector
+from repro.topology.graph import Topology
+
+
+class Simulator:
+    """Discrete-event wireless network simulator.
+
+    Typical use::
+
+        sim = Simulator(topology, SimConfig(seed=1))
+        agents = build_more_flow(sim, source, destination, file_bytes)
+        sim.run(until=60.0, stop_condition=sim.stats.all_flows_complete)
+    """
+
+    def __init__(self, topology: Topology, config: SimConfig | None = None) -> None:
+        self.topology = topology
+        self.config = config if config is not None else SimConfig()
+        self.events = EventQueue()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.medium = WirelessMedium(topology, self.config.channel, self.rng)
+        self.nodes = [SimNode(i, self) for i in range(topology.node_count)]
+        self.stats = StatsCollector()
+
+    # ------------------------------------------------------------------ #
+    # Clock and scheduling
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self.events.now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` simulated seconds."""
+        return self.events.schedule(delay, callback)
+
+    def run(self, until: float | None = None,
+            stop_condition: Callable[[], bool] | None = None,
+            max_events: int | None = None) -> float:
+        """Run the simulation; see :meth:`EventQueue.run`."""
+        horizon = until if until is not None else self.config.max_duration
+        return self.events.run(until=horizon, stop_condition=stop_condition,
+                               max_events=max_events)
+
+    # ------------------------------------------------------------------ #
+    # Agent management and frame delivery
+    # ------------------------------------------------------------------ #
+
+    def attach_agent(self, node_id: int, agent) -> None:
+        """Attach ``agent`` to node ``node_id``."""
+        self.nodes[node_id].attach(agent)
+
+    def deliver(self, frame: Frame, receivers: list[int]) -> None:
+        """Hand a completed frame to the agents of every node that received it.
+
+        All successful receivers get the frame, including nodes that were not
+        the MAC-level destination — overhearing is an essential part of
+        opportunistic routing (and of MORE's ACK snooping).
+        """
+        if frame.kind.value == "data":
+            self.stats.record_data_transmission(frame.sender)
+        for node_id in receivers:
+            agent = self.nodes[node_id].agent
+            if agent is not None:
+                agent.on_frame_received(frame, self.now)
+
+    def trigger_node(self, node_id: int) -> None:
+        """Poke a node's MAC (used by agents when new traffic appears)."""
+        self.nodes[node_id].notify_pending()

@@ -1,0 +1,104 @@
+"""Simulation statistics: per-flow delivery tracking and throughput.
+
+The experiment harness reads throughput (packets per second of *delivered
+native data*, matching how the paper reports pkt/s) and transmission counts
+from here.  Protocol agents report deliveries; the MAC and medium report
+channel usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FlowRecord:
+    """Lifecycle record of one unicast flow (one file transfer)."""
+
+    flow_id: int
+    source: int
+    destination: int
+    total_packets: int
+    packet_size: int
+    start_time: float = 0.0
+    end_time: float | None = None
+    delivered_packets: int = 0
+    delivered_batches: int = 0
+    duplicate_packets: int = 0
+
+    @property
+    def completed(self) -> bool:
+        """True once every native packet has been delivered to the application."""
+        return self.delivered_packets >= self.total_packets
+
+    @property
+    def duration(self) -> float | None:
+        """Transfer duration in seconds (None until completion)."""
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def throughput_pkts(self, now: float | None = None) -> float:
+        """Delivered throughput in packets per second.
+
+        If the flow has not completed, ``now`` must be supplied and the
+        throughput is computed over the elapsed time so far.
+        """
+        end = self.end_time if self.end_time is not None else now
+        if end is None:
+            raise ValueError("flow not complete; supply `now` for partial throughput")
+        elapsed = max(end - self.start_time, 1e-9)
+        return self.delivered_packets / elapsed
+
+    def throughput_bits(self, now: float | None = None) -> float:
+        """Delivered throughput in bits per second."""
+        return self.throughput_pkts(now) * self.packet_size * 8
+
+
+@dataclass
+class StatsCollector:
+    """Aggregates flow records and channel counters for one simulation run."""
+
+    flows: dict[int, FlowRecord] = field(default_factory=dict)
+    data_transmissions: dict[int, int] = field(default_factory=dict)
+
+    def register_flow(self, flow_id: int, source: int, destination: int,
+                      total_packets: int, packet_size: int, start_time: float) -> FlowRecord:
+        """Create the record for a new flow."""
+        record = FlowRecord(
+            flow_id=flow_id,
+            source=source,
+            destination=destination,
+            total_packets=total_packets,
+            packet_size=packet_size,
+            start_time=start_time,
+        )
+        self.flows[flow_id] = record
+        return record
+
+    def record_delivery(self, flow_id: int, packets: int, now: float,
+                        batch_complete: bool = False) -> None:
+        """Record ``packets`` native packets handed to the destination application."""
+        record = self.flows[flow_id]
+        record.delivered_packets += packets
+        if batch_complete:
+            record.delivered_batches += 1
+        if record.completed and record.end_time is None:
+            record.end_time = now
+
+    def record_duplicate(self, flow_id: int) -> None:
+        """Record a non-innovative / duplicate packet arriving at the destination."""
+        if flow_id in self.flows:
+            self.flows[flow_id].duplicate_packets += 1
+
+    def record_data_transmission(self, node_id: int) -> None:
+        """Count a data-frame transmission by ``node_id``."""
+        self.data_transmissions[node_id] = self.data_transmissions.get(node_id, 0) + 1
+
+    def all_flows_complete(self) -> bool:
+        """True when every registered flow has delivered all its packets."""
+        return bool(self.flows) and all(f.completed for f in self.flows.values())
+
+    def total_data_transmissions(self) -> int:
+        """Total data-frame transmissions across all nodes."""
+        return sum(self.data_transmissions.values())

@@ -1,0 +1,34 @@
+"""Wireless mesh topologies: the data model and synthetic generators."""
+
+from repro.topology.estimation import (
+    DEFAULT_OPTIMISM_EXPONENT,
+    DEFAULT_PROBE_COUNT,
+    perfect_estimates,
+    probe_estimated_topology,
+)
+from repro.topology.generator import (
+    chain,
+    cost_gap_topology,
+    diamond,
+    grid,
+    indoor_testbed,
+    random_mesh,
+    two_hop_relay,
+)
+from repro.topology.graph import Node, Topology
+
+__all__ = [
+    "DEFAULT_OPTIMISM_EXPONENT",
+    "DEFAULT_PROBE_COUNT",
+    "Node",
+    "Topology",
+    "chain",
+    "cost_gap_topology",
+    "diamond",
+    "grid",
+    "indoor_testbed",
+    "perfect_estimates",
+    "probe_estimated_topology",
+    "random_mesh",
+    "two_hop_relay",
+]

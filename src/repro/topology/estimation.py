@@ -1,0 +1,86 @@
+"""Link-quality estimation as seen by the routing control plane.
+
+The data plane of the simulator uses the *true* per-link delivery
+probabilities of 1500-byte data frames.  Routing protocols, however, never
+see those: they see ETX estimates derived from periodic probe frames
+(Section 3.1.1 — "nodes periodically ping each other and estimate the
+delivery probability on each link"; Section 4.1.2 — a 10-minute ETX
+measurement phase feeds all three protocols).
+
+Probe frames are short and sent at the base rate, so they experience a lower
+frame error rate than long data frames sent at 5.5 or 11 Mb/s; probe windows
+are also finite, so the estimates carry sampling noise.  Both effects are
+modelled here:
+
+* **Optimism** — a data frame of ``data_bits`` survives roughly
+  ``p_bit^data_bits``; a probe of ``probe_bits`` survives
+  ``p_bit^probe_bits``; hence ``p_probe = p_data ** (probe_bits/data_bits)``
+  (independent bit errors).  The control plane therefore sees
+  ``p_data ** optimism_exponent`` with ``optimism_exponent < 1``.
+* **Sampling noise** — the estimate is formed from ``probe_count``
+  Bernoulli trials of the probe delivery probability.
+
+This asymmetry is the heart of the paper's motivation: a best-path protocol
+commits to one nexthop based on these optimistic estimates and pays for
+every mis-estimate with retransmissions, while opportunistic protocols use
+whichever receptions actually happen.  Experiments can disable either effect
+to quantify its contribution (the ablation benchmark does exactly that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.graph import Topology
+
+#: Default ratio of probe-frame airtime to data-frame airtime used to derive
+#: the optimism exponent: ETX probes are small control frames at the base
+#: rate while data frames are 1500 B at 5.5/11 Mb/s.
+DEFAULT_OPTIMISM_EXPONENT = 0.45
+
+#: Number of probes in the measurement window (10 minutes at ~1 probe/6 s).
+DEFAULT_PROBE_COUNT = 100
+
+
+def probe_estimated_topology(topology: Topology,
+                             optimism_exponent: float = DEFAULT_OPTIMISM_EXPONENT,
+                             probe_count: int = DEFAULT_PROBE_COUNT,
+                             seed: int = 0) -> Topology:
+    """The topology as the routing control plane believes it to be.
+
+    Args:
+        topology: ground-truth data-frame delivery probabilities.
+        optimism_exponent: exponent applied to the true probability to model
+            probes seeing a lower error rate than data frames (1.0 = probes
+            behave exactly like data frames, i.e. a perfectly informed
+            control plane).
+        probe_count: probes per link in the measurement window; 0 disables
+            sampling noise.
+        seed: RNG seed for the sampling noise.
+
+    Returns:
+        A new :class:`Topology` with the estimated delivery probabilities.
+    """
+    if not 0.0 < optimism_exponent <= 1.0:
+        raise ValueError("optimism_exponent must lie in (0, 1]")
+    if probe_count < 0:
+        raise ValueError("probe_count must be non-negative")
+    rng = np.random.default_rng(seed)
+    true_delivery = topology.delivery_matrix()
+    probe_delivery = np.where(true_delivery > 0.0,
+                              true_delivery ** optimism_exponent, 0.0)
+    if probe_count > 0:
+        successes = rng.binomial(probe_count, np.clip(probe_delivery, 0.0, 1.0))
+        estimated = successes / probe_count
+        # A link never observed to deliver a probe is invisible to routing.
+        estimated[probe_delivery <= 0.0] = 0.0
+    else:
+        estimated = probe_delivery
+    positions = [node.position for node in topology.nodes] if topology.nodes[0].position else None
+    names = [node.name for node in topology.nodes]
+    return Topology(estimated, positions=positions, names=names)
+
+
+def perfect_estimates(topology: Topology) -> Topology:
+    """A control-plane view identical to the ground truth (ablation baseline)."""
+    return probe_estimated_topology(topology, optimism_exponent=1.0, probe_count=0)

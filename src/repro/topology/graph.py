@@ -1,0 +1,186 @@
+"""Wireless mesh topology model.
+
+A :class:`Topology` captures everything the routing metrics, the theory of
+Chapter 5 and the simulator need to know about the network:
+
+* the set of nodes (with optional 2-D/3-D positions, used by the synthetic
+  testbed generator and by the interference model);
+* the matrix of marginal delivery probabilities ``p[i, j]`` — the probability
+  that a single broadcast by ``i`` is successfully received by ``j`` — which
+  is the quantity ETX probing measures (Section 3.1.1);
+* derived loss probabilities ``eps[i, j] = 1 - p[i, j]`` used by the
+  Chapter 3 credit algorithms.
+
+The reception model follows the paper's assumption of *independent*
+receptions across receivers (Section 3.2.1, Section 5.5), which the
+simulator also honours unless an interference event intervenes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Node:
+    """A mesh router.
+
+    Attributes:
+        node_id: dense integer identifier (index into probability matrices).
+        name: human-readable label.
+        position: optional (x, y) or (x, y, z) coordinates in metres.
+    """
+
+    node_id: int
+    name: str = ""
+    position: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(self, "name", f"n{self.node_id}")
+
+
+class Topology:
+    """A wireless mesh described by per-link delivery probabilities."""
+
+    def __init__(self, delivery: np.ndarray, positions: list[tuple[float, ...]] | None = None,
+                 names: list[str] | None = None) -> None:
+        matrix = np.asarray(delivery, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("delivery matrix must be square")
+        if np.any((matrix < 0) | (matrix > 1)):
+            raise ValueError("delivery probabilities must lie in [0, 1]")
+        self._delivery = matrix.copy()
+        np.fill_diagonal(self._delivery, 0.0)
+        count = matrix.shape[0]
+        if positions is not None and len(positions) != count:
+            raise ValueError("positions length must match node count")
+        if names is not None and len(names) != count:
+            raise ValueError("names length must match node count")
+        self.nodes = [
+            Node(
+                node_id=i,
+                name=names[i] if names else f"n{i}",
+                position=tuple(positions[i]) if positions else (),
+            )
+            for i in range(count)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the mesh."""
+        return len(self.nodes)
+
+    def delivery_matrix(self) -> np.ndarray:
+        """Copy of the full delivery-probability matrix."""
+        return self._delivery.copy()
+
+    def delivery(self, sender: int, receiver: int) -> float:
+        """Delivery probability from ``sender`` to ``receiver``."""
+        return float(self._delivery[sender, receiver])
+
+    def loss(self, sender: int, receiver: int) -> float:
+        """Loss probability ``eps`` from ``sender`` to ``receiver``."""
+        return 1.0 - float(self._delivery[sender, receiver])
+
+    def loss_matrix(self) -> np.ndarray:
+        """Matrix of loss probabilities (diagonal forced to 1)."""
+        eps = 1.0 - self._delivery
+        np.fill_diagonal(eps, 1.0)
+        return eps
+
+    def set_delivery(self, sender: int, receiver: int, probability: float,
+                     symmetric: bool = False) -> None:
+        """Set the delivery probability of a directed (or symmetric) link."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("delivery probability must lie in [0, 1]")
+        if sender == receiver:
+            raise ValueError("self links are not allowed")
+        self._delivery[sender, receiver] = probability
+        if symmetric:
+            self._delivery[receiver, sender] = probability
+
+    def neighbors(self, node: int, threshold: float = 0.0) -> list[int]:
+        """Nodes reachable from ``node`` with delivery probability > threshold."""
+        return [j for j in range(self.node_count)
+                if j != node and self._delivery[node, j] > threshold]
+
+    def links(self, threshold: float = 0.0) -> list[tuple[int, int, float]]:
+        """All directed links with delivery probability above ``threshold``."""
+        result = []
+        for i in range(self.node_count):
+            for j in range(self.node_count):
+                if i != j and self._delivery[i, j] > threshold:
+                    result.append((i, j, float(self._delivery[i, j])))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Derived statistics (used to calibrate the synthetic testbed)
+    # ------------------------------------------------------------------ #
+
+    def link_loss_rates(self, threshold: float = 0.05) -> np.ndarray:
+        """Loss rates of all usable links (delivery above ``threshold``)."""
+        rates = [1.0 - p for _, _, p in self.links(threshold)]
+        return np.asarray(rates, dtype=float)
+
+    def average_loss_rate(self, threshold: float = 0.05) -> float:
+        """Mean loss rate over usable links (paper reports about 27%)."""
+        rates = self.link_loss_rates(threshold)
+        return float(rates.mean()) if rates.size else 0.0
+
+    def connectivity_check(self, threshold: float = 0.05) -> bool:
+        """True if the graph of usable links is strongly connected."""
+        count = self.node_count
+        usable = self._delivery > threshold
+        reachable = np.zeros(count, dtype=bool)
+        stack = [0]
+        reachable[0] = True
+        while stack:
+            node = stack.pop()
+            for nxt in np.nonzero(usable[node])[0]:
+                if not reachable[nxt]:
+                    reachable[nxt] = True
+                    stack.append(int(nxt))
+        if not reachable.all():
+            return False
+        # Reverse direction.
+        reachable = np.zeros(count, dtype=bool)
+        stack = [0]
+        reachable[0] = True
+        while stack:
+            node = stack.pop()
+            for nxt in np.nonzero(usable[:, node])[0]:
+                if not reachable[nxt]:
+                    reachable[nxt] = True
+                    stack.append(int(nxt))
+        return bool(reachable.all())
+
+    # ------------------------------------------------------------------ #
+    # Reception sampling (used by expectation-free tests)
+    # ------------------------------------------------------------------ #
+
+    def sample_receivers(self, sender: int, rng: np.random.Generator) -> list[int]:
+        """Sample the set of nodes that receive one broadcast from ``sender``.
+
+        Receptions are independent across receivers per the paper's model.
+        """
+        draws = rng.random(self.node_count)
+        received = np.nonzero(draws < self._delivery[sender])[0]
+        return [int(i) for i in received if i != sender]
+
+    def subtopology(self, node_ids: list[int]) -> "Topology":
+        """Restrict the topology to the given nodes (relabelled densely)."""
+        index = np.asarray(node_ids, dtype=int)
+        matrix = self._delivery[np.ix_(index, index)]
+        positions = [self.nodes[i].position for i in node_ids] if self.nodes[0].position else None
+        names = [self.nodes[i].name for i in node_ids]
+        return Topology(matrix, positions=positions, names=names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Topology(nodes={self.node_count}, links={len(self.links())})"

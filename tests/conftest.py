@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.generator import (
+    chain,
+    cost_gap_topology,
+    diamond,
+    indoor_testbed,
+    random_mesh,
+    two_hop_relay,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def relay_topology():
+    """The Figure 1-1 motivating example (src, R, dst)."""
+    return two_hop_relay()
+
+
+@pytest.fixture
+def chain_topology():
+    """A lossy 3-hop chain with weak skip links."""
+    return chain(3, link_delivery=0.7, skip_delivery=0.2)
+
+
+@pytest.fixture
+def diamond_topology():
+    """Source -> three lossy relays -> destination."""
+    return diamond(source_to_relays=0.5, relays_to_destination=0.5, relay_count=3)
+
+
+@pytest.fixture
+def small_mesh():
+    """A connected 8-node random mesh."""
+    return random_mesh(8, density=0.5, seed=3)
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """The synthetic 20-node indoor testbed (session-scoped: it is static)."""
+    return indoor_testbed()
+
+
+@pytest.fixture
+def gap_topology():
+    """The Figure 5-1 ETX-vs-EOTX gap topology."""
+    return cost_gap_topology(bridge_delivery=0.1, branch_count=8)

@@ -1,0 +1,118 @@
+"""Integration tests for the experiment runner and the figure harnesses.
+
+These use deliberately tiny workloads (few packets, few pairs, small
+topologies) so the whole suite stays fast; the benchmarks run the
+full-scale versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure_5_1, table_4_1
+from repro.experiments.runner import (
+    PROTOCOLS,
+    RunConfig,
+    compare_protocols,
+    run_flows,
+    run_single_flow,
+)
+from repro.topology.generator import chain, diamond, indoor_testbed, two_hop_relay
+
+FAST = RunConfig(total_packets=16, batch_size=8, packet_size=500,
+                 coding_payload_size=8, max_duration=60.0, seed=1)
+
+
+class TestRunner:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_each_protocol_completes_a_flow(self, protocol):
+        topo = chain(2, link_delivery=0.75)
+        result = run_single_flow(topo, protocol, 0, 2, config=FAST)
+        assert result.completed
+        assert result.delivered_packets == FAST.total_packets
+        assert result.throughput_pkts > 0
+        assert result.protocol == protocol
+
+    def test_unknown_protocol_rejected(self):
+        topo = chain(1)
+        with pytest.raises(ValueError):
+            run_single_flow(topo, "OSPF", 0, 1, config=FAST)
+
+    def test_run_flows_multi_flow(self):
+        topo = diamond(0.6, 0.7, relay_count=2, direct=0.3)
+        destination = topo.node_count - 1
+        results = run_flows(topo, "MORE", [(0, destination), (destination, 0)], config=FAST)
+        assert len(results) == 2
+        assert all(r.completed for r in results)
+
+    def test_compare_protocols_shapes(self):
+        topo = two_hop_relay()
+        results = compare_protocols(topo, [(0, 2)], config=FAST)
+        assert set(results) == set(PROTOCOLS)
+        assert all(len(flows) == 1 for flows in results.values())
+
+    def test_results_are_reproducible(self):
+        topo = chain(2, link_delivery=0.7)
+        first = run_single_flow(topo, "MORE", 0, 2, config=FAST)
+        second = run_single_flow(topo, "MORE", 0, 2, config=FAST)
+        assert first.throughput_pkts == pytest.approx(second.throughput_pkts)
+
+    def test_bitrate_override_changes_throughput(self):
+        topo = chain(1, link_delivery=0.85)
+        slow = run_single_flow(topo, "Srcr", 0, 1, config=FAST, bitrate=1_000_000)
+        fast = run_single_flow(topo, "Srcr", 0, 1, config=FAST, bitrate=11_000_000)
+        assert fast.throughput_pkts > slow.throughput_pkts
+
+    def test_control_view_toggle(self):
+        perfect = RunConfig(total_packets=8, batch_size=8, packet_size=500,
+                            estimation_exponent=1.0, estimation_probes=0)
+        topo = indoor_testbed(node_count=10, floors=2, seed=11)
+        view = perfect.control_view(topo)
+        assert view is topo
+        noisy = RunConfig(total_packets=8, batch_size=8, packet_size=500)
+        assert noisy.control_view(topo) is not topo
+
+
+class TestOpportunisticGain:
+    def test_more_beats_srcr_on_a_challenged_topology(self):
+        """The Figure 1-1/2-1 story: with lossy links and useful overhearing,
+        MORE delivers higher throughput than best-path routing."""
+        topo = diamond(0.45, 0.45, relay_count=3, direct=0.15)
+        destination = topo.node_count - 1
+        config = RunConfig(total_packets=32, batch_size=16, packet_size=1000,
+                           coding_payload_size=8, seed=2)
+        more = run_single_flow(topo, "MORE", 0, destination, config=config)
+        srcr = run_single_flow(topo, "Srcr", 0, destination, config=config)
+        assert more.completed and srcr.completed
+        assert more.throughput_pkts > srcr.throughput_pkts
+
+    def test_more_and_exor_complete_on_the_testbed(self, testbed):
+        config = RunConfig(total_packets=32, batch_size=32, packet_size=1500, seed=3)
+        pair = (17, 2)
+        for protocol in ("MORE", "ExOR"):
+            result = run_single_flow(testbed, protocol, *pair, config=config)
+            assert result.completed
+
+
+class TestFigureHarnesses:
+    def test_table_4_1_structure(self):
+        result = table_4_1(batch_size=16, packet_size=512, iterations=10)
+        summary = result.summary
+        assert summary["coding_at_source_us"] > 0
+        assert summary["decoding_us"] > 0
+        # Structural claims of Table 4.1: the independence check is much
+        # cheaper than coding/decoding.
+        assert summary["independence_check_us"] < summary["coding_at_source_us"]
+        assert "Table 4.1" in result.report
+
+    def test_figure_5_1_gap_series(self):
+        result = figure_5_1(bridge_deliveries=(0.2, 0.1), branch_count=4, testbed_pairs=6)
+        analytic = result.series["analytic_gap"]
+        measured = result.series["measured_gap"]
+        assert len(analytic) == len(measured) == 2
+        # The gap grows as the bridge link weakens, in both closed form and
+        # the Algorithm-1 measurement.
+        assert analytic[1] > analytic[0]
+        assert measured[1] > measured[0]
+        assert result.summary["testbed_median_gap_affected"] < 0.2

@@ -1,0 +1,129 @@
+"""Tests for the ExOR implementation (strict schedule + batch maps)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.protocols.exor import ExorAgent, setup_exor_flow
+from repro.protocols.exor.agent import ExorDataPayload
+from repro.sim.radio import SimConfig
+from repro.sim.simulator import Simulator
+from repro.topology.generator import chain, diamond, two_hop_relay
+
+
+def run_exor(topology, source, destination, seed=1, until=90.0, **kwargs):
+    sim = Simulator(topology, SimConfig(seed=seed))
+    handle = setup_exor_flow(sim, topology, source, destination, **kwargs)
+    sim.run(until=until, stop_condition=sim.stats.all_flows_complete)
+    return sim, handle
+
+
+class TestTransfer:
+    def test_single_hop(self):
+        topo = chain(1, link_delivery=0.8)
+        sim, handle = run_exor(topo, 0, 1, total_packets=16, batch_size=8, packet_size=400)
+        assert sim.stats.flows[handle.flow_id].completed
+
+    def test_lossy_chain(self):
+        topo = chain(3, link_delivery=0.7, skip_delivery=0.2)
+        sim, handle = run_exor(topo, 0, 3, total_packets=24, batch_size=8, packet_size=400)
+        record = sim.stats.flows[handle.flow_id]
+        assert record.completed
+        assert record.delivered_packets == 24
+
+    def test_relay_topology(self):
+        topo = two_hop_relay()
+        sim, handle = run_exor(topo, 0, 2, total_packets=32, batch_size=16, packet_size=400)
+        assert sim.stats.flows[handle.flow_id].completed
+
+    def test_diamond(self):
+        topo = diamond(0.5, 0.6, relay_count=3)
+        destination = topo.node_count - 1
+        sim, handle = run_exor(topo, 0, destination, total_packets=16, batch_size=8,
+                               packet_size=400)
+        assert sim.stats.flows[handle.flow_id].completed
+
+    def test_multi_batch(self):
+        topo = chain(2, link_delivery=0.8)
+        sim, handle = run_exor(topo, 0, 2, total_packets=24, batch_size=8, packet_size=400)
+        record = sim.stats.flows[handle.flow_id]
+        assert record.completed
+        # Let the final batch ACK drain back to the source.
+        sim.run(until=sim.now + 2.0)
+        source_agent = sim.nodes[0].agent
+        assert source_agent.source_progress[handle.flow_id] == handle.spec.batch_count
+
+
+class TestStrictSchedule:
+    def test_one_transmitter_at_a_time(self):
+        """ExOR's defining property: the flow's forwarders never transmit
+        concurrently, so the medium never sees two overlapping data frames of
+        the flow (this is what forfeits spatial reuse)."""
+        topo = chain(4, link_delivery=0.7, skip_delivery=0.15)
+        sim = Simulator(topo, SimConfig(seed=2))
+        handle = setup_exor_flow(sim, topo, 0, 4, total_packets=16, batch_size=8,
+                                 packet_size=400)
+        intervals = []
+        original_begin = sim.medium.begin
+
+        def tracking_begin(frame, now, airtime, bitrate):
+            if isinstance(frame.payload, ExorDataPayload):
+                intervals.append((now, now + airtime))
+            return original_begin(frame, now, airtime, bitrate)
+
+        sim.medium.begin = tracking_begin
+        sim.run(until=90.0, stop_condition=sim.stats.all_flows_complete)
+        intervals.sort()
+        for (start_a, end_a), (start_b, _end_b) in zip(intervals, intervals[1:]):
+            assert start_b >= end_a - 1e-12
+
+    def test_scheduler_rotates_turns(self):
+        topo = chain(2, link_delivery=0.8)
+        sim = Simulator(topo, SimConfig(seed=3))
+        handle = setup_exor_flow(sim, topo, 0, 2, total_packets=8, batch_size=8,
+                                 packet_size=400)
+        sim.run(until=90.0, stop_condition=sim.stats.all_flows_complete)
+        assert handle.scheduler.round >= 0
+        assert not handle.scheduler.active  # stopped once the batch completed
+
+    def test_batch_map_merging(self):
+        """Receivers merge heard batch maps element-wise (minimum rank)."""
+        topo = chain(2, link_delivery=1.0)
+        sim = Simulator(topo, SimConfig(seed=1))
+        handle = setup_exor_flow(sim, topo, 0, 2, total_packets=8, batch_size=8,
+                                 packet_size=400)
+        agent = sim.nodes[1].agent
+        assert isinstance(agent, ExorAgent)
+        state = agent.flows[handle.flow_id]
+        incoming = np.full(8, 0, dtype=np.int32)  # destination claims everything
+        state.merge_map(incoming)
+        assert (state.batch_map == 0).all()
+
+    def test_forwarder_responsibility_excludes_higher_priority_holders(self):
+        topo = chain(2, link_delivery=1.0)
+        sim = Simulator(topo, SimConfig(seed=1))
+        handle = setup_exor_flow(sim, topo, 0, 2, total_packets=8, batch_size=8,
+                                 packet_size=400)
+        agent = sim.nodes[1].agent
+        state = agent.flows[handle.flow_id]
+        state.note_reception(0, 0)
+        state.note_reception(1, 0)
+        # Another (higher-priority) node claims packet 1.
+        claim = state.batch_map.copy()
+        claim[1] = 0
+        state.merge_map(claim)
+        assert state.responsibility() == [0]
+
+
+class TestCompletionThreshold:
+    def test_cleanup_phase_delivers_the_tail(self):
+        """With a 70% threshold the last packets travel via traditional
+        routing and the batch still completes."""
+        topo = chain(2, link_delivery=0.7)
+        sim, handle = run_exor(topo, 0, 2, total_packets=16, batch_size=16,
+                               packet_size=400, completion_threshold=0.7)
+        record = sim.stats.flows[handle.flow_id]
+        assert record.completed
+        destination_agent = sim.nodes[2].agent
+        assert handle.flow_id in destination_agent.cleanup_requested

@@ -1,0 +1,157 @@
+"""Integration tests for the MORE protocol on small topologies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.protocols.more import MoreAgent, setup_more_flow
+from repro.sim.radio import SimConfig
+from repro.sim.simulator import Simulator
+from repro.topology.generator import chain, diamond, two_hop_relay
+
+
+def run_flow(topology, source, destination, seed=1, until=60.0, **flow_kwargs):
+    sim = Simulator(topology, SimConfig(seed=seed))
+    handle = setup_more_flow(sim, topology, source, destination, seed=seed, **flow_kwargs)
+    sim.run(until=until, stop_condition=sim.stats.all_flows_complete)
+    return sim, handle
+
+
+class TestEndToEndTransfer:
+    def test_file_integrity_over_lossy_chain(self, rng):
+        """The destination reconstructs the exact file bytes (Section 3.1.3)."""
+        topo = chain(3, link_delivery=0.7, skip_delivery=0.2)
+        data = rng.integers(0, 256, 16 * 200, dtype=np.uint8).tobytes()
+        sim, handle = run_flow(topo, 0, 3, file_bytes=data, batch_size=8, packet_size=200)
+        record = sim.stats.flows[handle.flow_id]
+        assert record.completed
+        assert handle.decoded_bytes()[: len(data)] == data
+
+    def test_one_hop_flow(self):
+        topo = chain(1, link_delivery=0.8)
+        sim, handle = run_flow(topo, 0, 1, total_packets=32, batch_size=16, packet_size=400)
+        assert sim.stats.flows[handle.flow_id].completed
+
+    def test_relay_topology_uses_opportunistic_receptions(self):
+        """Figure 1-1: the destination overhears some source transmissions, so
+        the relay forwards noticeably fewer packets than the source sends."""
+        topo = two_hop_relay()
+        sim, handle = run_flow(topo, 0, 2, total_packets=64, batch_size=32, packet_size=800)
+        record = sim.stats.flows[handle.flow_id]
+        assert record.completed
+        tx = sim.stats.data_transmissions
+        assert tx.get(1, 0) < tx.get(0, 1)  # relay sends less than the source
+
+    def test_diamond_multiple_forwarders(self):
+        topo = diamond(0.5, 0.6, relay_count=3)
+        destination = topo.node_count - 1
+        sim, handle = run_flow(topo, 0, destination, total_packets=32, batch_size=16,
+                               packet_size=400)
+        assert sim.stats.flows[handle.flow_id].completed
+
+    def test_multi_batch_transfer_advances_batches(self):
+        topo = chain(2, link_delivery=0.8)
+        sim, handle = run_flow(topo, 0, 2, total_packets=48, batch_size=16, packet_size=200)
+        record = sim.stats.flows[handle.flow_id]
+        assert record.completed
+        assert record.delivered_batches == 3
+        # Let the final batch ACK drain back to the source, then it is done.
+        sim.run(until=sim.now + 2.0)
+        source_state = handle.source_agent.source_flows[handle.flow_id]
+        assert source_state.done
+
+    def test_eotx_ordering_also_works(self):
+        topo = diamond(0.4, 0.6, relay_count=2)
+        destination = topo.node_count - 1
+        sim, handle = run_flow(topo, 0, destination, total_packets=16, batch_size=8,
+                               packet_size=200, metric="eotx")
+        assert sim.stats.flows[handle.flow_id].completed
+
+
+class TestProtocolBehaviour:
+    def test_source_stops_after_final_ack(self):
+        topo = chain(1, link_delivery=0.9)
+        sim, handle = run_flow(topo, 0, 1, total_packets=16, batch_size=16, packet_size=200)
+        completion_time = sim.stats.flows[handle.flow_id].end_time
+        transmissions_at_completion = sim.stats.total_data_transmissions()
+        sim.run(until=sim.now + 0.2)
+        # A few in-flight frames may still drain, but the source must not keep
+        # pumping the medium long after the ACK.
+        assert sim.stats.total_data_transmissions() <= transmissions_at_completion + 3
+        assert completion_time is not None
+
+    def test_forwarder_flushes_acked_batch(self):
+        topo = chain(2, link_delivery=0.9)
+        sim, handle = run_flow(topo, 0, 2, total_packets=32, batch_size=16, packet_size=200)
+        forwarder_state = sim.nodes[1].agent.forward_flows[handle.flow_id]
+        # After the transfer, the forwarder has moved past batch 0.
+        assert forwarder_state.current_batch >= 1
+
+    def test_destination_counts_duplicates(self):
+        topo = two_hop_relay()
+        sim, handle = run_flow(topo, 0, 2, total_packets=32, batch_size=32, packet_size=400)
+        record = sim.stats.flows[handle.flow_id]
+        agent = handle.destination_agent
+        assert agent.innovative_received == record.delivered_packets
+        assert record.duplicate_packets == agent.non_innovative_received
+
+    def test_forwarder_only_transmits_with_credit(self):
+        """A node not in the forwarder list never transmits for the flow."""
+        topo = diamond(0.5, 0.6, relay_count=2, direct=0.4)
+        destination = topo.node_count - 1
+        sim, handle = run_flow(topo, 0, destination, total_packets=16, batch_size=8,
+                               packet_size=200)
+        forwarders = set(handle.spec.distances) | {0}
+        for node, count in sim.stats.data_transmissions.items():
+            assert node in forwarders
+            assert node != destination or count == 0
+
+    def test_throughput_positive_and_bounded(self):
+        topo = chain(2, link_delivery=0.8)
+        sim, handle = run_flow(topo, 0, 2, total_packets=32, batch_size=16, packet_size=1500)
+        record = sim.stats.flows[handle.flow_id]
+        throughput = record.throughput_pkts()
+        assert 0 < throughput < 500  # can't beat the channel capacity
+
+
+class TestFlowSetupValidation:
+    def test_requires_exactly_one_payload_spec(self):
+        topo = chain(1)
+        sim = Simulator(topo, SimConfig())
+        with pytest.raises(ValueError):
+            setup_more_flow(sim, topo, 0, 1)
+        with pytest.raises(ValueError):
+            setup_more_flow(sim, topo, 0, 1, total_packets=8, file_bytes=b"x")
+
+    def test_agent_reuse_across_flows(self):
+        topo = chain(2, link_delivery=0.9)
+        sim = Simulator(topo, SimConfig(seed=2))
+        first = setup_more_flow(sim, topo, 0, 2, total_packets=16, batch_size=8,
+                                packet_size=200)
+        second = setup_more_flow(sim, topo, 2, 0, total_packets=16, batch_size=8,
+                                 packet_size=200)
+        assert sim.nodes[0].agent is first.source_agent
+        assert first.flow_id != second.flow_id
+        sim.run(until=60.0, stop_condition=sim.stats.all_flows_complete)
+        assert sim.stats.all_flows_complete()
+
+    def test_mixing_protocols_on_a_node_rejected(self):
+        from repro.protocols.srcr import setup_srcr_flow
+        topo = chain(2, link_delivery=0.9)
+        sim = Simulator(topo, SimConfig())
+        setup_more_flow(sim, topo, 0, 2, total_packets=8, batch_size=8, packet_size=200)
+        with pytest.raises(TypeError):
+            setup_srcr_flow(sim, topo, 0, 2, total_packets=8, packet_size=200)
+
+    def test_control_topology_changes_plan(self):
+        from repro.topology.estimation import probe_estimated_topology
+        topo = diamond(0.4, 0.5, relay_count=2)
+        destination = topo.node_count - 1
+        sim = Simulator(topo, SimConfig())
+        estimated = probe_estimated_topology(topo, seed=1)
+        handle = setup_more_flow(sim, topo, 0, destination, total_packets=8, batch_size=8,
+                                 packet_size=200, control_topology=estimated)
+        # Distances in the spec come from the estimated topology.
+        assert handle.spec.distances[0] != pytest.approx(
+            float(np.inf), abs=0)  # sanity: finite

@@ -1,0 +1,120 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.events import EventQueue
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(3.0, lambda: fired.append("c"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(2.0, lambda: fired.append("b"))
+        queue.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for label in "abc":
+            queue.schedule(1.0, lambda label=label: fired.append(label))
+        queue.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(0.5, lambda: times.append(queue.now))
+        queue.schedule(1.5, lambda: times.append(queue.now))
+        queue.run()
+        assert times == [0.5, 1.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: queue.schedule_at(3.0, lambda: fired.append(queue.now)))
+        queue.run()
+        assert fired == [3.0]
+
+    def test_events_scheduled_from_callbacks_run(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 5:
+                queue.schedule(1.0, lambda: chain(depth + 1))
+
+        queue.schedule(0.0, lambda: chain(0))
+        queue.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+
+
+class TestRunControl:
+    def test_until_stops_the_clock(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append(1))
+        queue.schedule(5.0, lambda: fired.append(5))
+        end = queue.run(until=2.0)
+        assert fired == [1]
+        assert end == 2.0
+        assert queue.now == 2.0
+
+    def test_stop_condition(self):
+        queue = EventQueue()
+        fired = []
+        for i in range(10):
+            queue.schedule(float(i + 1), lambda i=i: fired.append(i))
+        queue.run(stop_condition=lambda: len(fired) >= 3)
+        assert fired == [0, 1, 2]
+
+    def test_max_events(self):
+        queue = EventQueue()
+        fired = []
+        for i in range(10):
+            queue.schedule(float(i + 1), lambda i=i: fired.append(i))
+        queue.run(max_events=4)
+        assert len(fired) == 4
+
+    def test_run_on_empty_queue_with_until(self):
+        queue = EventQueue()
+        assert queue.run(until=7.0) == 7.0
+
+    def test_processed_counter(self):
+        queue = EventQueue()
+        for _ in range(3):
+            queue.schedule(1.0, lambda: None)
+        queue.run()
+        assert queue.processed == 3
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        queue.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_empty_property_ignores_cancelled(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda: None)
+        assert not queue.empty
+        handle.cancel()
+        assert queue.empty
+
+    def test_handle_time(self):
+        queue = EventQueue()
+        handle = queue.schedule(2.5, lambda: None)
+        assert handle.time == 2.5

@@ -1,0 +1,177 @@
+"""Tests for the CSMA/CA MAC, the node glue and the statistics collector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.protocols.base import ProtocolAgent
+from repro.sim.frames import BROADCAST, Frame, FrameKind
+from repro.sim.mac import MacState
+from repro.sim.radio import PhyConfig, SimConfig
+from repro.sim.simulator import Simulator
+from repro.sim.trace import FlowRecord, StatsCollector
+from repro.topology.graph import Topology
+
+
+class ScriptedAgent(ProtocolAgent):
+    """Test agent that transmits a fixed list of frames and records receptions."""
+
+    def __init__(self, node_id, frames=None):
+        super().__init__(node_id)
+        self.outgoing = list(frames or [])
+        self.received = []
+        self.sent = []
+
+    def has_pending(self, now):
+        return bool(self.outgoing)
+
+    def on_transmit_opportunity(self, now):
+        return self.outgoing.pop(0) if self.outgoing else None
+
+    def on_frame_received(self, frame, now):
+        self.received.append((frame, now))
+
+    def on_frame_sent(self, frame, success, now):
+        self.sent.append((frame, success))
+
+
+def two_node_sim(delivery=1.0, seed=0):
+    matrix = np.array([[0, delivery], [delivery, 0]], dtype=float)
+    return Simulator(Topology(matrix), SimConfig(seed=seed))
+
+
+def data_frame(sender, receiver=BROADCAST, size=500):
+    return Frame(sender=sender, receiver=receiver, kind=FrameKind.DATA, flow_id=1,
+                 size_bytes=size)
+
+
+class TestMacBroadcast:
+    def test_broadcast_delivery_and_callbacks(self):
+        sim = two_node_sim()
+        sender = ScriptedAgent(0, [data_frame(0)])
+        receiver = ScriptedAgent(1)
+        sim.attach_agent(0, sender)
+        sim.attach_agent(1, receiver)
+        sim.trigger_node(0)
+        sim.run(until=1.0)
+        assert len(receiver.received) == 1
+        assert len(sender.sent) == 1
+        assert sender.sent[0][1] is True  # broadcast is always "successful"
+        assert sender.sent[0][0].mac_attempts == 1
+
+    def test_broadcast_not_retried_on_loss(self):
+        sim = two_node_sim(delivery=0.0)
+        sender = ScriptedAgent(0, [data_frame(0)])
+        receiver = ScriptedAgent(1)
+        sim.attach_agent(0, sender)
+        sim.attach_agent(1, receiver)
+        sim.trigger_node(0)
+        sim.run(until=1.0)
+        assert receiver.received == []
+        assert sim.medium.transmissions == 1
+
+    def test_multiple_frames_sent_back_to_back(self):
+        sim = two_node_sim()
+        sender = ScriptedAgent(0, [data_frame(0) for _ in range(5)])
+        sim.attach_agent(0, sender)
+        sim.attach_agent(1, ScriptedAgent(1))
+        sim.trigger_node(0)
+        sim.run(until=1.0)
+        assert len(sender.sent) == 5
+        assert sim.nodes[0].mac.state is MacState.IDLE
+
+
+class TestMacUnicast:
+    def test_unicast_success(self):
+        sim = two_node_sim()
+        sender = ScriptedAgent(0, [data_frame(0, receiver=1)])
+        sim.attach_agent(0, sender)
+        sim.attach_agent(1, ScriptedAgent(1))
+        sim.trigger_node(0)
+        sim.run(until=1.0)
+        assert sender.sent[0][1] is True
+        assert sim.nodes[0].mac.stats.unicast_successes == 1
+
+    def test_unicast_retries_then_gives_up(self):
+        sim = two_node_sim(delivery=0.0)
+        sender = ScriptedAgent(0, [data_frame(0, receiver=1)])
+        sim.attach_agent(0, sender)
+        sim.attach_agent(1, ScriptedAgent(1))
+        sim.trigger_node(0)
+        sim.run(until=5.0)
+        assert sender.sent[0][1] is False
+        retry_limit = sim.config.phy.retry_limit
+        assert sim.medium.transmissions == retry_limit + 1
+        assert sim.nodes[0].mac.stats.unicast_drops == 1
+        assert sender.sent[0][0].mac_attempts == retry_limit + 1
+
+    def test_unicast_lossy_link_eventually_succeeds(self):
+        sim = two_node_sim(delivery=0.5, seed=3)
+        sender = ScriptedAgent(0, [data_frame(0, receiver=1)])
+        sim.attach_agent(0, sender)
+        sim.attach_agent(1, ScriptedAgent(1))
+        sim.trigger_node(0)
+        sim.run(until=5.0)
+        assert sender.sent and sender.sent[0][1] is True
+        assert sim.medium.transmissions >= 1
+
+
+class TestCarrierSenseSerialization:
+    def test_two_contending_senders_do_not_collide(self):
+        """Nodes that can hear each other serialise via carrier sense."""
+        matrix = np.array([[0, 0.9, 0.9], [0.9, 0, 0.9], [0.9, 0.9, 0]], dtype=float)
+        sim = Simulator(Topology(matrix), SimConfig(seed=1))
+        a = ScriptedAgent(0, [data_frame(0) for _ in range(10)])
+        b = ScriptedAgent(1, [data_frame(1) for _ in range(10)])
+        sim.attach_agent(0, a)
+        sim.attach_agent(1, b)
+        sim.attach_agent(2, ScriptedAgent(2))
+        sim.trigger_node(0)
+        sim.trigger_node(1)
+        sim.run(until=2.0)
+        assert sim.medium.collisions == 0
+        assert len(a.sent) == 10 and len(b.sent) == 10
+
+
+class TestStatsCollector:
+    def test_flow_lifecycle(self):
+        stats = StatsCollector()
+        record = stats.register_flow(1, 0, 5, total_packets=10, packet_size=1500,
+                                     start_time=1.0)
+        assert not record.completed
+        stats.record_delivery(1, 6, now=2.0)
+        assert not record.completed
+        stats.record_delivery(1, 4, now=3.0, batch_complete=True)
+        assert record.completed
+        assert record.duration == pytest.approx(2.0)
+        assert record.throughput_pkts() == pytest.approx(5.0)
+        assert record.throughput_bits() == pytest.approx(5.0 * 1500 * 8)
+        assert record.delivered_batches == 1
+
+    def test_partial_throughput_requires_now(self):
+        record = FlowRecord(flow_id=1, source=0, destination=1, total_packets=10,
+                            packet_size=100, start_time=0.0)
+        with pytest.raises(ValueError):
+            record.throughput_pkts()
+        record.delivered_packets = 5
+        assert record.throughput_pkts(now=2.5) == pytest.approx(2.0)
+
+    def test_all_flows_complete(self):
+        stats = StatsCollector()
+        assert not stats.all_flows_complete()  # no flows registered
+        stats.register_flow(1, 0, 1, total_packets=2, packet_size=10, start_time=0.0)
+        stats.register_flow(2, 1, 0, total_packets=1, packet_size=10, start_time=0.0)
+        stats.record_delivery(1, 2, now=1.0)
+        assert not stats.all_flows_complete()
+        stats.record_delivery(2, 1, now=1.0)
+        assert stats.all_flows_complete()
+
+    def test_duplicates_and_transmissions(self):
+        stats = StatsCollector()
+        stats.register_flow(1, 0, 1, total_packets=1, packet_size=10, start_time=0.0)
+        stats.record_duplicate(1)
+        stats.record_data_transmission(0)
+        stats.record_data_transmission(0)
+        assert stats.flows[1].duplicate_packets == 1
+        assert stats.total_data_transmissions() == 2

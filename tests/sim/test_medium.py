@@ -1,0 +1,149 @@
+"""Tests for the broadcast medium: losses, carrier sense, collisions, capture."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.frames import BROADCAST, Frame, FrameKind
+from repro.sim.medium import WirelessMedium
+from repro.sim.radio import ChannelConfig
+from repro.topology.graph import Topology
+
+
+def make_frame(sender, receiver=BROADCAST, flow=1):
+    return Frame(sender=sender, receiver=receiver, kind=FrameKind.DATA, flow_id=flow,
+                 size_bytes=1500)
+
+
+def make_medium(matrix, seed=0, **channel_kwargs):
+    topo = Topology(np.asarray(matrix, dtype=float))
+    channel = ChannelConfig(**channel_kwargs)
+    return WirelessMedium(topo, channel, np.random.default_rng(seed)), topo
+
+
+class TestLossModel:
+    def test_perfect_link_always_delivers(self):
+        medium, _ = make_medium([[0, 1.0], [1.0, 0]])
+        for i in range(20):
+            start = i * 0.01
+            tx = medium.begin(make_frame(0), now=start, airtime=0.002, bitrate=5_500_000)
+            assert medium.complete(tx, now=start + 0.002) == [1]
+
+    def test_zero_link_never_delivers(self):
+        medium, _ = make_medium([[0, 0.0], [0.0, 0]])
+        tx = medium.begin(make_frame(0), now=0.0, airtime=0.002, bitrate=5_500_000)
+        assert medium.complete(tx, now=0.002) == []
+
+    def test_loss_statistics_match_probability(self):
+        medium, _ = make_medium([[0, 0.5], [0.5, 0]], seed=2)
+        received = 0
+        for i in range(2000):
+            start = i * 0.01
+            tx = medium.begin(make_frame(0), now=start, airtime=0.002, bitrate=5_500_000)
+            received += len(medium.complete(tx, now=start + 0.002))
+        assert 0.45 < received / 2000 < 0.55
+
+    def test_broadcast_reaches_multiple_receivers(self):
+        medium, _ = make_medium([[0, 1.0, 1.0], [1, 0, 0], [1, 0, 0]])
+        tx = medium.begin(make_frame(0), now=0.0, airtime=0.002, bitrate=5_500_000)
+        assert sorted(medium.complete(tx, now=0.002)) == [1, 2]
+
+    def test_statistics_counters(self):
+        medium, _ = make_medium([[0, 1.0], [1.0, 0]])
+        tx = medium.begin(make_frame(0), now=0.0, airtime=0.002, bitrate=5_500_000)
+        medium.complete(tx, now=0.002)
+        assert medium.transmissions == 1
+        assert medium.receptions == 1
+
+
+class TestCarrierSense:
+    def test_busy_while_audible_transmission_in_flight(self):
+        medium, _ = make_medium([[0, 0.9, 0.9], [0.9, 0, 0.9], [0.9, 0.9, 0]])
+        medium.begin(make_frame(0), now=0.0, airtime=0.002, bitrate=5_500_000)
+        assert medium.is_busy(1, 0.001)
+        assert medium.is_busy(0, 0.001)   # own transmission
+        assert not medium.is_busy(1, 0.003)
+
+    def test_far_node_does_not_sense(self):
+        # Node 2 has no connectivity at all to node 0 and shares no good
+        # common neighbour, so it cannot sense node 0's transmissions.
+        matrix = [[0, 0.9, 0.0], [0.9, 0, 0.0], [0.0, 0.0, 0]]
+        medium, _ = make_medium(matrix)
+        medium.begin(make_frame(0), now=0.0, airtime=0.002, bitrate=5_500_000)
+        assert not medium.is_busy(2, 0.001)
+
+    def test_hidden_terminals_with_common_neighbor_sense_each_other(self):
+        """Two transmitters that both deliver well to a common receiver are
+        within carrier-sense range even if they cannot decode each other."""
+        matrix = [[0, 0.6, 0.0], [0.6, 0, 0.6], [0.0, 0.6, 0]]
+        medium, _ = make_medium(matrix)
+        assert medium.can_sense(0, 2)
+        assert medium.can_sense(2, 0)
+
+    def test_busy_until(self):
+        medium, _ = make_medium([[0, 0.9], [0.9, 0]])
+        medium.begin(make_frame(0), now=0.0, airtime=0.002, bitrate=5_500_000)
+        assert medium.busy_until(1, 0.001) == pytest.approx(0.002)
+        assert medium.busy_until(1, 0.005) == pytest.approx(0.005)
+
+    def test_node_is_transmitting(self):
+        medium, _ = make_medium([[0, 0.9], [0.9, 0]])
+        medium.begin(make_frame(0), now=0.0, airtime=0.002, bitrate=5_500_000)
+        assert medium.node_is_transmitting(0, 0.001)
+        assert not medium.node_is_transmitting(1, 0.001)
+
+
+class TestCollisions:
+    def test_overlapping_comparable_signals_collide(self):
+        """Two overlapping transmissions of similar strength at the receiver
+        destroy each other (no capture)."""
+        matrix = [[0, 0.0, 0.6], [0.0, 0, 0.6], [0.6, 0.6, 0]]
+        medium, _ = make_medium(matrix, seed=1, capture_probability=0.0)
+        tx_a = medium.begin(make_frame(0), now=0.0, airtime=0.002, bitrate=5_500_000)
+        tx_b = medium.begin(make_frame(1), now=0.001, airtime=0.002, bitrate=5_500_000)
+        received_a = medium.complete(tx_a, now=0.002)
+        received_b = medium.complete(tx_b, now=0.003)
+        assert received_a == [] and received_b == []
+        assert medium.collisions >= 1
+
+    def test_capture_saves_much_stronger_frame(self):
+        """With a large delivery margin the stronger frame survives (capture)."""
+        matrix = [[0, 0.0, 0.9], [0.0, 0, 0.12], [0.9, 0.12, 0]]
+        medium, _ = make_medium(matrix, seed=3, capture_probability=1.0,
+                                capture_margin=0.35)
+        captured = 0
+        for i in range(50):
+            start = i * 0.01
+            tx_a = medium.begin(make_frame(0), now=start, airtime=0.002, bitrate=5_500_000)
+            tx_b = medium.begin(make_frame(1), now=start + 0.0005, airtime=0.002,
+                                bitrate=5_500_000)
+            if 2 in medium.complete(tx_a, now=start + 0.002):
+                captured += 1
+            medium.complete(tx_b, now=start + 0.0025)
+        assert captured > 30
+        assert medium.captures > 0
+
+    def test_half_duplex_receiver(self):
+        """A node transmitting cannot simultaneously receive."""
+        matrix = [[0, 0.9], [0.9, 0]]
+        medium, _ = make_medium(matrix)
+        tx_a = medium.begin(make_frame(0), now=0.0, airtime=0.002, bitrate=5_500_000)
+        tx_b = medium.begin(make_frame(1), now=0.001, airtime=0.002, bitrate=5_500_000)
+        assert medium.complete(tx_a, now=0.002) == []
+        assert medium.complete(tx_b, now=0.003) == []
+
+    def test_non_overlapping_transmissions_do_not_interfere(self):
+        matrix = [[0, 0.0, 1.0], [0.0, 0, 1.0], [1.0, 1.0, 0]]
+        medium, _ = make_medium(matrix, interference_threshold=0.05)
+        tx_a = medium.begin(make_frame(0), now=0.0, airtime=0.002, bitrate=5_500_000)
+        assert medium.complete(tx_a, now=0.002) == [2]
+        tx_b = medium.begin(make_frame(1), now=0.003, airtime=0.002, bitrate=5_500_000)
+        assert medium.complete(tx_b, now=0.005) == [2]
+
+    def test_weak_interferer_below_threshold_ignored(self):
+        matrix = [[0, 0.0, 1.0], [0.0, 0, 0.04], [1.0, 0.04, 0]]
+        medium, _ = make_medium(matrix, interference_threshold=0.05)
+        tx_a = medium.begin(make_frame(0), now=0.0, airtime=0.002, bitrate=5_500_000)
+        medium.begin(make_frame(1), now=0.0005, airtime=0.002, bitrate=5_500_000)
+        assert medium.complete(tx_a, now=0.002) == [2]

@@ -1,0 +1,125 @@
+"""Tests for PHY timing, frame model and the Onoe autorate controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.autorate import OnoeRateController
+from repro.sim.frames import BROADCAST, Frame, FrameKind
+from repro.sim.radio import (
+    RATE_1MBPS,
+    RATE_5_5MBPS,
+    RATE_11MBPS,
+    SUPPORTED_RATES,
+    ChannelConfig,
+    PhyConfig,
+    SimConfig,
+)
+
+
+class TestPhyTiming:
+    def test_frame_airtime_scales_with_size_and_rate(self):
+        phy = PhyConfig()
+        small = phy.frame_airtime(100)
+        large = phy.frame_airtime(1500)
+        assert large > small
+        fast = phy.frame_airtime(1500, bitrate=RATE_11MBPS)
+        assert fast < large
+
+    def test_airtime_formula(self):
+        phy = PhyConfig(bitrate=RATE_5_5MBPS)
+        expected = phy.preamble_time + (1500 + phy.mac_overhead_bytes) * 8 / RATE_5_5MBPS
+        assert phy.frame_airtime(1500) == pytest.approx(expected)
+
+    def test_1500b_at_5_5mbps_is_about_2_4ms(self):
+        """Sanity-anchor the absolute throughput scale of the simulator."""
+        phy = PhyConfig()
+        assert 2.0e-3 < phy.frame_airtime(1500) < 3.0e-3
+
+    def test_ack_airtime(self):
+        phy = PhyConfig()
+        assert phy.ack_airtime() == pytest.approx(
+            phy.preamble_time + phy.ack_bytes * 8 / phy.ack_bitrate)
+
+    def test_invalid_bitrate(self):
+        with pytest.raises(ValueError):
+            PhyConfig().frame_airtime(100, bitrate=0)
+
+    def test_contention_window_doubles_and_caps(self):
+        phy = PhyConfig(cw_min=31, cw_max=1023)
+        assert phy.contention_window(0) == 31
+        assert phy.contention_window(1) == 63
+        assert phy.contention_window(10) == 1023
+
+    def test_backoff_time(self):
+        phy = PhyConfig()
+        assert phy.backoff_time(3) == pytest.approx(3 * phy.slot_time)
+
+    def test_sim_config_defaults(self):
+        config = SimConfig()
+        assert config.phy.bitrate == RATE_5_5MBPS
+        assert isinstance(config.channel, ChannelConfig)
+
+
+class TestFrame:
+    def test_broadcast_detection(self):
+        frame = Frame(sender=1, receiver=BROADCAST, kind=FrameKind.DATA, flow_id=1,
+                      size_bytes=100)
+        assert frame.is_broadcast
+        unicast = Frame(sender=1, receiver=2, kind=FrameKind.DATA, flow_id=1, size_bytes=100)
+        assert not unicast.is_broadcast
+
+    def test_frame_ids_are_unique(self):
+        frames = [Frame(sender=0, receiver=BROADCAST, kind=FrameKind.DATA, flow_id=0,
+                        size_bytes=10) for _ in range(10)]
+        assert len({f.frame_id for f in frames}) == 10
+
+
+class TestOnoeAutorate:
+    def test_starts_at_highest_rate(self):
+        controller = OnoeRateController()
+        assert controller.current_rate(5) == SUPPORTED_RATES[-1]
+
+    def test_steps_down_on_heavy_loss(self):
+        controller = OnoeRateController(period=1.0)
+        now = 0.0
+        for _ in range(20):
+            controller.record_result(3, success=False, retries=4, now=now)
+        controller.record_result(3, success=False, retries=4, now=1.5)
+        assert controller.current_rate(3) < SUPPORTED_RATES[-1]
+
+    def test_steps_up_only_after_sustained_success(self):
+        controller = OnoeRateController(period=1.0, credits_to_raise=3,
+                                        initial_rate=RATE_1MBPS)
+        now = 0.0
+        # Two good periods are not enough.
+        for period in range(2):
+            for _ in range(10):
+                controller.record_result(1, success=True, retries=0, now=now)
+            now += 1.1
+            controller.record_result(1, success=True, retries=0, now=now)
+        assert controller.current_rate(1) == RATE_1MBPS
+        # More good periods eventually raise the rate.
+        for period in range(4):
+            for _ in range(10):
+                controller.record_result(1, success=True, retries=0, now=now)
+            now += 1.1
+            controller.record_result(1, success=True, retries=0, now=now)
+        assert controller.current_rate(1) > RATE_1MBPS
+
+    def test_never_goes_below_lowest_rate(self):
+        controller = OnoeRateController(period=0.5)
+        now = 0.0
+        for _ in range(200):
+            controller.record_result(2, success=False, retries=7, now=now)
+            now += 0.1
+        assert controller.current_rate(2) == SUPPORTED_RATES[0]
+
+    def test_rates_tracked_per_neighbor(self):
+        controller = OnoeRateController(period=0.5)
+        now = 0.0
+        for _ in range(50):
+            controller.record_result(1, success=False, retries=5, now=now)
+            controller.record_result(2, success=True, retries=0, now=now)
+            now += 0.1
+        assert controller.current_rate(1) < controller.current_rate(2)

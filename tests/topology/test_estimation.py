@@ -1,0 +1,65 @@
+"""Tests for probe-based link quality estimation (control-plane view)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.estimation import (
+    perfect_estimates,
+    probe_estimated_topology,
+)
+from repro.topology.generator import indoor_testbed, two_hop_relay
+
+
+class TestProbeEstimates:
+    def test_optimism_raises_probabilities(self):
+        topo = two_hop_relay(source_to_relay=0.5, relay_to_destination=0.5,
+                             source_to_destination=0.3)
+        estimated = probe_estimated_topology(topo, optimism_exponent=0.5, probe_count=0)
+        assert estimated.delivery(0, 1) == pytest.approx(0.5 ** 0.5)
+        assert estimated.delivery(0, 2) == pytest.approx(0.3 ** 0.5)
+
+    def test_zero_links_stay_zero(self):
+        topo = two_hop_relay(source_to_destination=0.49)
+        topo.set_delivery(0, 2, 0.0, symmetric=True)
+        estimated = probe_estimated_topology(topo, probe_count=0)
+        assert estimated.delivery(0, 2) == 0.0
+
+    def test_exponent_one_without_sampling_is_identity(self, testbed):
+        estimated = probe_estimated_topology(testbed, optimism_exponent=1.0, probe_count=0)
+        assert np.allclose(estimated.delivery_matrix(), testbed.delivery_matrix())
+
+    def test_perfect_estimates_helper(self, testbed):
+        assert np.allclose(perfect_estimates(testbed).delivery_matrix(),
+                           testbed.delivery_matrix())
+
+    def test_sampling_noise_is_bounded_and_deterministic(self, testbed):
+        a = probe_estimated_topology(testbed, probe_count=100, seed=3)
+        b = probe_estimated_topology(testbed, probe_count=100, seed=3)
+        assert np.allclose(a.delivery_matrix(), b.delivery_matrix())
+        c = probe_estimated_topology(testbed, probe_count=100, seed=4)
+        assert not np.allclose(a.delivery_matrix(), c.delivery_matrix())
+        assert a.delivery_matrix().max() <= 1.0
+        assert a.delivery_matrix().min() >= 0.0
+
+    def test_estimates_are_optimistic_on_average(self, testbed):
+        estimated = probe_estimated_topology(testbed, seed=1)
+        true_matrix = testbed.delivery_matrix()
+        est_matrix = estimated.delivery_matrix()
+        mask = true_matrix > 0.05
+        assert est_matrix[mask].mean() > true_matrix[mask].mean()
+
+    def test_preserves_names_and_positions(self, testbed):
+        estimated = probe_estimated_topology(testbed, seed=0)
+        assert estimated.node_count == testbed.node_count
+        assert estimated.nodes[5].name == testbed.nodes[5].name
+        assert estimated.nodes[5].position == testbed.nodes[5].position
+
+    def test_invalid_arguments(self, testbed):
+        with pytest.raises(ValueError):
+            probe_estimated_topology(testbed, optimism_exponent=0.0)
+        with pytest.raises(ValueError):
+            probe_estimated_topology(testbed, optimism_exponent=1.5)
+        with pytest.raises(ValueError):
+            probe_estimated_topology(testbed, probe_count=-1)

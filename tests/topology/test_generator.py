@@ -1,0 +1,168 @@
+"""Tests for topology generators, including the synthetic testbed calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.etx import best_path, etx_to_destination
+from repro.topology.generator import (
+    chain,
+    cost_gap_topology,
+    diamond,
+    grid,
+    indoor_testbed,
+    random_mesh,
+    two_hop_relay,
+)
+from repro.experiments.workloads import reachable_pairs
+
+
+class TestTwoHopRelay:
+    def test_matches_figure_1_1(self):
+        topo = two_hop_relay()
+        assert topo.node_count == 3
+        assert topo.delivery(0, 1) == 1.0
+        assert topo.delivery(1, 2) == 1.0
+        assert topo.delivery(0, 2) == pytest.approx(0.49)
+        # Section 2.1.1: path ETX 2 vs direct ETX 1/0.49.
+        etx = etx_to_destination(topo, 2)
+        assert etx[0] == pytest.approx(2.0)
+
+
+class TestChain:
+    def test_structure(self):
+        topo = chain(4, link_delivery=0.8)
+        assert topo.node_count == 5
+        assert topo.delivery(0, 1) == 0.8
+        assert topo.delivery(0, 2) == 0.0
+
+    def test_skip_links(self):
+        topo = chain(4, link_delivery=0.8, skip_delivery=0.2)
+        assert topo.delivery(0, 2) == 0.2
+        assert topo.delivery(2, 4) == 0.2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chain(0)
+
+
+class TestDiamond:
+    def test_structure(self):
+        topo = diamond(0.5, 0.6, relay_count=3)
+        destination = topo.node_count - 1
+        assert topo.node_count == 5
+        for relay in (1, 2, 3):
+            assert topo.delivery(0, relay) == 0.5
+            assert topo.delivery(relay, destination) == 0.6
+        assert topo.delivery(0, destination) == 0.0
+
+    def test_direct_link(self):
+        topo = diamond(0.5, 0.5, relay_count=2, direct=0.1)
+        assert topo.delivery(0, topo.node_count - 1) == 0.1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            diamond(relay_count=0)
+
+
+class TestGrid:
+    def test_shape_and_links(self):
+        topo = grid(3, 4, link_delivery=0.7, diagonal_delivery=0.0)
+        assert topo.node_count == 12
+        assert topo.delivery(0, 1) == 0.7
+        assert topo.delivery(0, 4) == 0.7
+        assert topo.delivery(0, 5) == 0.0
+
+    def test_diagonals(self):
+        topo = grid(2, 2, link_delivery=0.7, diagonal_delivery=0.3)
+        assert topo.delivery(0, 3) == 0.3
+
+
+class TestRandomMesh:
+    def test_connected_and_symmetric(self):
+        topo = random_mesh(10, density=0.5, seed=1)
+        assert topo.connectivity_check()
+        matrix = topo.delivery_matrix()
+        assert np.allclose(matrix, matrix.T)
+
+    def test_deterministic(self):
+        a = random_mesh(8, density=0.4, seed=5)
+        b = random_mesh(8, density=0.4, seed=5)
+        assert np.array_equal(a.delivery_matrix(), b.delivery_matrix())
+
+    def test_single_node(self):
+        assert random_mesh(1, density=0.5).node_count == 1
+
+
+class TestCostGapTopology:
+    def test_structure(self):
+        topo = cost_gap_topology(bridge_delivery=0.1, branch_count=4)
+        destination = topo.node_count - 1
+        assert topo.node_count == 8
+        assert topo.delivery(0, 1) == 0.1       # src -> A
+        assert topo.delivery(0, 2) == 1.0        # src -> B
+        assert topo.delivery(1, destination) == 1.0
+        for branch in range(4):
+            assert topo.delivery(2, 3 + branch) == 0.1
+            assert topo.delivery(3 + branch, destination) == 1.0
+
+    def test_etx_ranks_b_no_closer_than_source(self):
+        """The property Proposition 6 relies on: ETX-order discards B."""
+        topo = cost_gap_topology(bridge_delivery=0.1, branch_count=8)
+        destination = topo.node_count - 1
+        etx = etx_to_destination(topo, destination)
+        assert etx[2] >= etx[0]  # B is not closer than the source under ETX
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            cost_gap_topology(bridge_delivery=0.0)
+        with pytest.raises(ValueError):
+            cost_gap_topology(bridge_delivery=1.0)
+        with pytest.raises(ValueError):
+            cost_gap_topology(branch_count=0)
+
+
+class TestIndoorTestbed:
+    def test_size_and_connectivity(self, testbed):
+        assert testbed.node_count == 20
+        assert testbed.connectivity_check()
+        assert testbed.nodes[0].position != ()
+
+    def test_symmetric_links(self, testbed):
+        matrix = testbed.delivery_matrix()
+        assert np.allclose(matrix, matrix.T)
+
+    def test_link_statistics_match_paper(self, testbed):
+        """Loss rates of links on best paths: 0-60% range, average about 27%
+        (Section 4.1(a)); we accept a calibrated band around those values."""
+        losses = []
+        hops = []
+        for source, destination in reachable_pairs(testbed)[::5]:
+            path = best_path(testbed, source, destination)
+            hops.append(len(path) - 1)
+            losses.extend(1 - testbed.delivery(a, b) for a, b in zip(path[:-1], path[1:]))
+        mean_loss = float(np.mean(losses))
+        assert 0.15 <= mean_loss <= 0.45
+        assert max(losses) <= 0.85
+        assert 1 <= max(hops) <= 7
+        assert min(hops) == 1
+
+    def test_no_perfect_links(self, testbed):
+        """Urban 802.11 links always lose some frames (ambient interference)."""
+        assert testbed.delivery_matrix().max() <= 0.90 + 1e-9
+
+    def test_deterministic_for_seed(self):
+        a = indoor_testbed(seed=3)
+        b = indoor_testbed(seed=3)
+        assert np.array_equal(a.delivery_matrix(), b.delivery_matrix())
+
+    def test_different_seed_differs(self):
+        a = indoor_testbed(seed=3)
+        b = indoor_testbed(seed=4)
+        assert not np.array_equal(a.delivery_matrix(), b.delivery_matrix())
+
+    def test_smaller_testbed_still_connected(self):
+        topo = indoor_testbed(node_count=10, floors=2, seed=11)
+        assert topo.node_count == 10
+        assert topo.connectivity_check()

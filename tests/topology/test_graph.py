@@ -1,0 +1,128 @@
+"""Tests for the Topology data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.graph import Node, Topology
+
+
+def square_matrix(values):
+    return np.asarray(values, dtype=float)
+
+
+class TestConstruction:
+    def test_basic(self):
+        topo = Topology(square_matrix([[0, 0.5], [0.5, 0]]))
+        assert topo.node_count == 2
+        assert topo.delivery(0, 1) == 0.5
+        assert topo.loss(0, 1) == 0.5
+
+    def test_diagonal_zeroed(self):
+        topo = Topology(square_matrix([[0.9, 0.5], [0.5, 0.9]]))
+        assert topo.delivery(0, 0) == 0.0
+        assert topo.delivery(1, 1) == 0.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            Topology(np.zeros((2, 3)))
+
+    def test_rejects_out_of_range_probabilities(self):
+        with pytest.raises(ValueError):
+            Topology(square_matrix([[0, 1.5], [0.5, 0]]))
+
+    def test_names_and_positions(self):
+        topo = Topology(square_matrix([[0, 1], [1, 0]]),
+                        positions=[(0, 0), (1, 1)], names=["a", "b"])
+        assert topo.nodes[0].name == "a"
+        assert topo.nodes[1].position == (1.0, 1.0)
+
+    def test_default_node_names(self):
+        topo = Topology(np.zeros((3, 3)))
+        assert [n.name for n in topo.nodes] == ["n0", "n1", "n2"]
+
+    def test_mismatched_metadata_lengths(self):
+        with pytest.raises(ValueError):
+            Topology(np.zeros((2, 2)), positions=[(0, 0)])
+        with pytest.raises(ValueError):
+            Topology(np.zeros((2, 2)), names=["only-one"])
+
+
+class TestAccessors:
+    def test_loss_matrix_diagonal_is_one(self):
+        topo = Topology(square_matrix([[0, 0.8], [0.8, 0]]))
+        eps = topo.loss_matrix()
+        assert eps[0, 0] == 1.0
+        assert eps[0, 1] == pytest.approx(0.2)
+
+    def test_neighbors_and_links(self):
+        topo = Topology(square_matrix([[0, 0.8, 0.0], [0.8, 0, 0.3], [0.0, 0.3, 0]]))
+        assert topo.neighbors(0) == [1]
+        assert topo.neighbors(1) == [0, 2]
+        links = topo.links(threshold=0.5)
+        assert (0, 1, 0.8) in links and (1, 0, 0.8) in links
+        assert all(p > 0.5 for _, _, p in links)
+
+    def test_set_delivery(self):
+        topo = Topology(np.zeros((3, 3)))
+        topo.set_delivery(0, 2, 0.4, symmetric=True)
+        assert topo.delivery(0, 2) == 0.4
+        assert topo.delivery(2, 0) == 0.4
+        with pytest.raises(ValueError):
+            topo.set_delivery(0, 0, 0.5)
+        with pytest.raises(ValueError):
+            topo.set_delivery(0, 1, 1.5)
+
+    def test_delivery_matrix_is_a_copy(self):
+        topo = Topology(square_matrix([[0, 0.8], [0.8, 0]]))
+        matrix = topo.delivery_matrix()
+        matrix[0, 1] = 0.0
+        assert topo.delivery(0, 1) == 0.8
+
+    def test_average_loss_rate(self):
+        topo = Topology(square_matrix([[0, 0.8, 0], [0.8, 0, 0.6], [0, 0.6, 0]]))
+        assert topo.average_loss_rate() == pytest.approx(0.3)
+        empty = Topology(np.zeros((2, 2)))
+        assert empty.average_loss_rate() == 0.0
+
+
+class TestConnectivity:
+    def test_connected_chain(self):
+        topo = Topology(square_matrix([[0, 0.9, 0], [0.9, 0, 0.9], [0, 0.9, 0]]))
+        assert topo.connectivity_check()
+
+    def test_disconnected(self):
+        topo = Topology(square_matrix([[0, 0.9, 0], [0.9, 0, 0], [0, 0, 0]]))
+        assert not topo.connectivity_check()
+
+    def test_one_way_link_is_not_strongly_connected(self):
+        matrix = np.zeros((2, 2))
+        matrix[0, 1] = 0.9
+        assert not Topology(matrix).connectivity_check()
+
+
+class TestSampling:
+    def test_sample_receivers_respects_probabilities(self, rng):
+        topo = Topology(square_matrix([[0, 1.0, 0.0], [1.0, 0, 0], [0.0, 0, 0]]))
+        for _ in range(20):
+            receivers = topo.sample_receivers(0, rng)
+            assert receivers == [1]
+
+    def test_sample_receivers_statistics(self):
+        topo = Topology(square_matrix([[0, 0.5], [0.5, 0]]))
+        rng = np.random.default_rng(0)
+        hits = sum(1 in topo.sample_receivers(0, rng) for _ in range(4000))
+        assert 0.45 < hits / 4000 < 0.55
+
+    def test_subtopology(self):
+        matrix = square_matrix([[0, 0.8, 0.1], [0.8, 0, 0.5], [0.1, 0.5, 0]])
+        topo = Topology(matrix, names=["a", "b", "c"])
+        sub = topo.subtopology([0, 2])
+        assert sub.node_count == 2
+        assert sub.delivery(0, 1) == 0.1
+        assert sub.nodes[1].name == "c"
+
+
+def test_node_default_name():
+    assert Node(node_id=7).name == "n7"
