@@ -1,0 +1,42 @@
+# Developer entry points.  Everything runs from the repo root with the
+# in-tree package (PYTHONPATH=src); no install required.
+
+PYTHON  ?= python
+WORKERS ?= 4
+ENV      = PYTHONPATH=src
+
+.PHONY: test bench docs-check figures examples clean
+
+# Tier-1 verification: the full suite (tests/ + benchmarks/), fail-fast.
+test:
+	$(ENV) $(PYTHON) -m pytest -x -q
+
+# The paper-evaluation benchmarks only (add PYTEST_ARGS=--paper-scale for
+# the full 5 MB transfers).
+bench:
+	$(ENV) $(PYTHON) -m pytest -q benchmarks $(PYTEST_ARGS)
+
+# Every repro.* name referenced in README.md and docs/ must resolve.
+docs-check:
+	$(ENV) $(PYTHON) scripts/docs_check.py README.md docs/paper-map.md docs/scenarios.md
+
+# Run (and cache under results/) every paper-figure scenario preset.
+figures:
+	$(ENV) $(PYTHON) -m repro sweep --preset fig_4_2 --workers $(WORKERS)
+	$(ENV) $(PYTHON) -m repro sweep --preset fig_4_4 --workers $(WORKERS)
+	$(ENV) $(PYTHON) -m repro sweep --preset fig_4_5 --workers $(WORKERS)
+	$(ENV) $(PYTHON) -m repro sweep --preset fig_4_6 --workers $(WORKERS)
+	$(ENV) $(PYTHON) -m repro sweep --preset fig_4_7 --workers $(WORKERS)
+	$(ENV) $(PYTHON) -m repro sweep --preset fig_5_1 --workers $(WORKERS)
+	$(ENV) $(PYTHON) -m repro report
+
+# The narrated walk-throughs.
+examples:
+	$(ENV) $(PYTHON) examples/quickstart.py
+	$(ENV) $(PYTHON) examples/metric_analysis.py
+	$(ENV) $(PYTHON) examples/testbed_throughput.py
+	$(ENV) $(PYTHON) examples/multi_flow.py
+
+clean:
+	rm -rf .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.figures import default_testbed
 from repro.experiments.runner import RunConfig
+from repro.scenarios import build_topology, get_preset
 
 
 def pytest_addoption(parser):
@@ -31,17 +31,26 @@ def paper_scale(request) -> bool:
 
 @pytest.fixture(scope="session")
 def testbed():
-    """The synthetic 20-node indoor testbed shared by all benchmarks."""
-    return default_testbed()
+    """The synthetic 20-node indoor testbed shared by all benchmarks.
+
+    Resolved through the scenario layer so benchmarks and the ``repro`` CLI
+    are guaranteed to simulate the same mesh.
+    """
+    return build_topology(get_preset("fig_4_2").topology)
 
 
 @pytest.fixture(scope="session")
 def run_config(paper_scale) -> RunConfig:
-    """Per-flow transfer configuration (scaled or full size)."""
+    """Per-flow transfer configuration (scaled or full size).
+
+    Derived from the ``fig_4_2`` scenario preset; ``--paper-scale`` applies
+    the paper's 5 MB transfer (3495 x 1500 B packets) as run overrides.
+    """
+    spec = get_preset("fig_4_2")
+    spec.run.update({"total_packets": 96, "batch_size": 32, "packet_size": 1500})
     if paper_scale:
-        return RunConfig(total_packets=3495, batch_size=32, packet_size=1500, seed=1,
-                         max_duration=600.0)
-    return RunConfig(total_packets=96, batch_size=32, packet_size=1500, seed=1)
+        spec.run.update({"total_packets": 3495, "max_duration": 600.0})
+    return spec.run_config(seed=1)
 
 
 @pytest.fixture(scope="session")

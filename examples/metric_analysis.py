@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments import default_testbed, random_pairs
+from repro.experiments import random_pairs
 from repro.metrics import (
     cost_gap,
     eotx_dijkstra,
@@ -27,11 +27,13 @@ from repro.metrics import (
     solve_min_cost_flow,
     summarize_gaps,
 )
+from repro.scenarios import build_topology, get_preset
 from repro.topology import cost_gap_topology, random_mesh
 
 
 def main() -> None:
-    testbed = default_testbed()
+    # The Chapter 4 testbed, resolved from the scenario preset registry.
+    testbed = build_topology(get_preset("fig_4_2").topology)
     gateway = 0
 
     print("=== ETX vs EOTX toward node 0 (the gateway) ===")

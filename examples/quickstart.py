@@ -9,7 +9,8 @@ This walks through the whole public API in one sitting:
    forwarder list, TX credits from Algorithm 1 / Eq. 3.3);
 3. run the discrete-event 802.11 simulator with a MORE flow carrying a real
    file and check bit-exact delivery;
-4. compare against the Srcr (best-path) and ExOR baselines.
+4. compare against the Srcr (best-path) and ExOR baselines through the
+   declarative scenario layer (the same path as ``python -m repro run``).
 
 Run:  python examples/quickstart.py
 """
@@ -18,9 +19,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments import RunConfig, run_single_flow
 from repro.metrics import etx_to_destination, eotx_dijkstra, forwarding_plan
 from repro.protocols.more import setup_more_flow
+from repro.scenarios import get_preset, run_cell
 from repro.sim import SimConfig, Simulator
 from repro.topology import chain
 
@@ -61,13 +62,15 @@ def main() -> None:
     print(f"data transmissions used: {sim.stats.total_data_transmissions()} "
           f"({per_packet:.2f} per packet)")
 
-    # 4. The same transfer under the baselines.
-    config = RunConfig(total_packets=64, batch_size=16, packet_size=256,
-                       coding_payload_size=16, seed=1)
-    for protocol in ("MORE", "ExOR", "Srcr"):
-        result = run_single_flow(topology, protocol, source, destination, config=config)
-        print(f"{protocol:<5} throughput: {result.throughput_pkts:7.1f} pkt/s "
-              f"(completed: {result.completed})")
+    # 4. The same transfer under the baselines, as a declarative scenario:
+    #    the chain_smoke preset describes this exact chain + flow, and one
+    #    cell of it runs all three protocols.
+    spec = get_preset("chain_smoke")
+    spec.run.update({"total_packets": 64, "batch_size": 16})
+    cell_result = run_cell(spec.expand()[0])
+    for protocol, values in cell_result.series.items():
+        print(f"{protocol:<5} throughput: {values[0]:7.1f} pkt/s")
+    print("(same experiment from the shell: python -m repro run --preset chain_smoke)")
 
 
 if __name__ == "__main__":

@@ -1,39 +1,42 @@
 #!/usr/bin/env python3
 """Testbed throughput comparison: the paper's headline experiment (Fig 4-2).
 
-Builds the synthetic 20-node / 3-floor indoor testbed, picks random
-source-destination pairs, transfers a file between each pair under MORE,
-ExOR and Srcr, and prints the throughput distribution plus the median-gain
-figures the paper quotes (MORE ~1.2x over ExOR, ~1.95x over Srcr, with the
-largest gains on challenged flows).
+Runs the ``fig_4_2`` and ``fig_4_4`` scenario presets through the scenario
+layer — the same path the ``python -m repro`` CLI takes — instead of
+hand-building topology, pairs and config.  Overrides show how any preset
+knob (here the pair count) is one dotted-path assignment away.
 
-Run:  python examples/testbed_throughput.py [pair_count]
+Run:  python examples/testbed_throughput.py [pair_count] [workers]
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro.experiments import RunConfig, default_testbed, figure_4_2, figure_4_4
+from repro.experiments.parallel import run_scenario
+from repro.scenarios import get_preset
 
 
 def main() -> None:
     pair_count = int(sys.argv[1]) if len(sys.argv) > 1 else 10
-    testbed = default_testbed()
-    config = RunConfig(total_packets=96, batch_size=32, packet_size=1500, seed=1)
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
 
     print(f"=== Figure 4-2: unicast throughput over {pair_count} random pairs ===")
-    result = figure_4_2(testbed, pair_count=pair_count, seed=1, config=config)
-    print(result.report)
+    fig_4_2 = get_preset("fig_4_2").with_overrides({"workload.count": pair_count})
+    result = run_scenario(fig_4_2, workers=workers, results_dir=None)
+    print(result.report())
 
     print("\n=== Figure 4-4: 4-hop flows with spatial reuse ===")
-    reuse = figure_4_4(testbed, pair_count=max(4, pair_count // 2), seed=2, config=config)
-    print(reuse.report)
+    fig_4_4 = get_preset("fig_4_4").with_overrides(
+        {"workload.count": max(4, pair_count // 2)})
+    reuse = run_scenario(fig_4_4, workers=workers, results_dir=None)
+    print(reuse.report())
 
     print("\nInterpretation: MORE and ExOR beat best-path routing because they "
           "exploit every fortunate reception; MORE additionally beats ExOR "
           "because it needs no transmission schedule and can therefore use "
-          "spatial reuse, which the 4-hop experiment isolates.")
+          "spatial reuse, which the 4-hop experiment isolates.\n"
+          "The same runs, from the shell:  python -m repro run --preset fig_4_2")
 
 
 if __name__ == "__main__":

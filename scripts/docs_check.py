@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""docs-check: every ``repro.*`` dotted name in the docs must resolve.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+tokens like ``repro.metrics.etx.link_etx``, imports the longest importable
+module prefix of each and resolves the remainder with ``getattr``.  Exits
+non-zero listing every token that no longer matches the code, so renames
+cannot silently rot the documentation.
+
+Run via ``make docs-check`` (needs ``PYTHONPATH=src``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+
+TOKEN = re.compile(r"\brepro(?:\.[A-Za-z_][A-Za-z0-9_]*)+")
+
+DEFAULT_FILES = ["README.md", "docs/paper-map.md", "docs/scenarios.md"]
+
+
+def resolve(token: str) -> None:
+    """Import/getattr ``token``; raises on any failure."""
+    parts = token.split(".")
+    last_error: Exception | None = None
+    for cut in range(len(parts), 0, -1):
+        module_name = ".".join(parts[:cut])
+        try:
+            obj = importlib.import_module(module_name)
+        except ImportError as error:
+            last_error = error
+            continue
+        for attribute in parts[cut:]:
+            obj = getattr(obj, attribute)  # AttributeError propagates
+        return
+    raise last_error if last_error else ImportError(token)
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(name) for name in (argv or DEFAULT_FILES)]
+    failures: list[tuple[Path, str, str]] = []
+    checked: set[str] = set()
+    for path in files:
+        if not path.is_file():
+            failures.append((path, "<file>", "file not found"))
+            continue
+        for token in sorted(set(TOKEN.findall(path.read_text(encoding="utf-8")))):
+            try:
+                resolve(token)
+            except Exception as error:  # noqa: BLE001 - report every failure kind
+                failures.append((path, token, f"{type(error).__name__}: {error}"))
+            else:
+                checked.add(token)
+    if failures:
+        print(f"docs-check: {len(failures)} unresolved reference(s):", file=sys.stderr)
+        for path, token, reason in failures:
+            print(f"  {path}: {token}  ({reason})", file=sys.stderr)
+        return 1
+    print(f"docs-check: {len(checked)} distinct repro.* references resolve "
+          f"across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,11 +1,41 @@
-"""Setuptools shim.
+"""Packaging metadata for the MORE reproduction.
 
-The canonical metadata lives in pyproject.toml; this file exists so the
-package can be installed editable (``pip install -e . --no-use-pep517``)
-in offline environments that lack the ``wheel`` package required by
-PEP 660 editable builds.
+Metadata is declared here (rather than in ``pyproject.toml``'s ``[project]``
+table) so the package also installs editable via the legacy path
+(``pip install -e . --no-use-pep517``) in offline environments that lack the
+``wheel`` package required by PEP 660 editable builds; ``pyproject.toml``
+carries only the build-system requirements and tool configuration.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="more-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of MORE: Trading Structure for Randomness in Wireless "
+        "Opportunistic Routing (SIGCOMM 2007)"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.22",
+    ],
+    extras_require={
+        "test": ["pytest>=7", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Networking",
+    ],
+)

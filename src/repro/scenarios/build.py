@@ -1,0 +1,115 @@
+"""Materialise the declarative parts of a scenario: topology and workload.
+
+Both builders are pure dispatch: a :class:`~repro.scenarios.spec.TopologySpec`
+names a generator from :mod:`repro.topology.generator` and a
+:class:`~repro.scenarios.spec.WorkloadSpec` names a pair selector from
+:mod:`repro.experiments.workloads`.  Everything is deterministic given the
+spec (and the cell seed, when the workload does not pin its own).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.experiments.workloads import (
+    challenged_pairs,
+    multiflow_sets,
+    random_pairs,
+    spatial_reuse_pairs,
+)
+from repro.scenarios.spec import TopologySpec, WorkloadSpec
+from repro.topology.generator import (
+    chain,
+    cost_gap_topology,
+    diamond,
+    grid,
+    indoor_testbed,
+    random_geometric,
+    random_mesh,
+    two_hop_relay,
+)
+from repro.topology.graph import Topology
+
+#: Topology generators addressable from a :class:`TopologySpec`.
+TOPOLOGY_BUILDERS: dict[str, Callable[..., Topology]] = {
+    "indoor_testbed": indoor_testbed,
+    "chain": chain,
+    "grid": grid,
+    "diamond": diamond,
+    "two_hop_relay": two_hop_relay,
+    "random_mesh": random_mesh,
+    "random_geometric": random_geometric,
+    "cost_gap": cost_gap_topology,
+}
+
+#: Workload kinds addressable from a :class:`WorkloadSpec`.
+WORKLOAD_KINDS = ("random_pairs", "spatial_reuse", "challenged", "explicit", "multiflow")
+
+
+def build_topology(spec: TopologySpec) -> Topology:
+    """Instantiate the topology a spec describes."""
+    try:
+        builder = TOPOLOGY_BUILDERS[spec.kind]
+    except KeyError:
+        raise ValueError(f"unknown topology kind {spec.kind!r}; expected one of "
+                         f"{sorted(TOPOLOGY_BUILDERS)}") from None
+    return builder(**spec.params)
+
+
+def _workload_seed(spec: WorkloadSpec, default_seed: int) -> int:
+    return int(spec.params.get("seed", default_seed))
+
+
+def build_pairs(spec: WorkloadSpec, topology: Topology,
+                default_seed: int) -> list[tuple[int, int]]:
+    """The source-destination pairs of a single-flow-at-a-time workload.
+
+    ``default_seed`` (the cell seed) drives pair selection unless the
+    workload params pin their own ``seed`` — the same convention the paper
+    harnesses use, where one seed covers both selection and simulation.
+    """
+    params: dict[str, Any] = dict(spec.params)
+    params.pop("seed", None)
+    seed = _workload_seed(spec, default_seed)
+    if spec.kind == "explicit":
+        pairs = params.get("pairs", [])
+        return [(int(source), int(destination)) for source, destination in pairs]
+    if spec.kind == "random_pairs":
+        return random_pairs(topology, count=int(params.pop("count", 10)), seed=seed,
+                            **params)
+    if spec.kind == "spatial_reuse":
+        count = int(params.pop("count", 6))
+        path_hops = int(params.pop("path_hops", 4))
+        pairs = spatial_reuse_pairs(topology, count, seed=seed, path_hops=path_hops,
+                                    **params)
+        if not pairs:
+            # Same fallback as the Figure 4-4 harness: the longest available
+            # paths when no concurrent first/last-hop pair exists.
+            pairs = random_pairs(topology, count, seed=seed,
+                                 min_hops=max(2, path_hops - 1))
+        return pairs
+    if spec.kind == "challenged":
+        return challenged_pairs(topology, count=int(params.pop("count", 10)), seed=seed,
+                                **params)
+    raise ValueError(f"workload kind {spec.kind!r} does not describe plain pairs; "
+                     f"expected one of {WORKLOAD_KINDS[:4]}")
+
+
+def build_flow_sets(spec: WorkloadSpec, topology: Topology,
+                    default_seed: int) -> list[list[tuple[int, int]]]:
+    """The concurrent flow sets of a ``multiflow`` workload.
+
+    Draws ``set_count`` independent sets of ``flows_per_set`` pairs and
+    truncates each to ``flow_count`` flows — the prefix construction of the
+    Figure 4-5 harness, which keeps the series comparable across counts.
+    """
+    if spec.kind != "multiflow":
+        raise ValueError(f"expected a multiflow workload, got {spec.kind!r}")
+    seed = _workload_seed(spec, default_seed)
+    flows_per_set = int(spec.params.get("flows_per_set", 4))
+    set_count = int(spec.params.get("set_count", 3))
+    flow_count = int(spec.params.get("flow_count", flows_per_set))
+    if not 1 <= flow_count <= flows_per_set:
+        raise ValueError(f"flow_count must be in [1, {flows_per_set}], got {flow_count}")
+    base_sets = multiflow_sets(topology, flows_per_set, set_count, seed=seed)
+    return [flow_set[:flow_count] for flow_set in base_sets]

@@ -1,0 +1,180 @@
+"""Named scenario presets: the paper's figures plus generic mesh studies.
+
+Each preset is a fully-declarative :class:`~repro.scenarios.spec.ScenarioSpec`
+whose defaults mirror the corresponding harness in
+:mod:`repro.experiments.figures` — same topology, same workload selection
+seed, same run seed — so running a preset through the scenario layer
+reproduces the serial figure harness bit-for-bit.  Presets are looked up by
+name from the CLI (``python -m repro run --preset fig_4_2``) and from code
+via :func:`get_preset`.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.scenarios.spec import ScenarioSpec, TopologySpec, WorkloadSpec
+from repro.sim.radio import RATE_11MBPS
+
+#: The synthetic 20-node, 3-floor indoor testbed of every Chapter 4 figure
+#: (``repro.experiments.figures.default_testbed``).
+_TESTBED = TopologySpec("indoor_testbed", {"node_count": 20, "floors": 3, "seed": 7})
+
+PRESETS: dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add ``spec`` to the registry (last registration wins)."""
+    PRESETS[spec.name] = spec
+    return spec
+
+
+def get_preset(name: str) -> ScenarioSpec:
+    """A deep copy of the named preset (safe to mutate / override)."""
+    try:
+        return copy.deepcopy(PRESETS[name])
+    except KeyError:
+        raise KeyError(f"unknown preset {name!r}; run `python -m repro list` or see "
+                       f"{sorted(PRESETS)}") from None
+
+
+def list_presets() -> list[ScenarioSpec]:
+    """All registered presets, sorted by name."""
+    return [copy.deepcopy(PRESETS[name]) for name in sorted(PRESETS)]
+
+
+# --------------------------------------------------------------------------- #
+# Paper figures (Chapter 4 evaluation + the Section 5.7 gap survey)
+# --------------------------------------------------------------------------- #
+
+register(ScenarioSpec(
+    name="fig_4_2",
+    description="Fig 4-2: unicast throughput CDF, MORE vs ExOR vs Srcr over "
+                "random testbed pairs",
+    topology=copy.deepcopy(_TESTBED),
+    workload=WorkloadSpec("random_pairs", {"count": 12}),
+    seeds=(1,),
+))
+
+register(ScenarioSpec(
+    name="fig_4_3",
+    description="Fig 4-3: per-pair scatter vs Srcr (same runs as fig_4_2; the "
+                "scatter is a different view of the same data)",
+    topology=copy.deepcopy(_TESTBED),
+    workload=WorkloadSpec("random_pairs", {"count": 12}),
+    seeds=(1,),
+))
+
+register(ScenarioSpec(
+    name="fig_4_4",
+    description="Fig 4-4: spatial reuse on 4-hop paths whose first and last "
+                "hop can transmit concurrently",
+    topology=copy.deepcopy(_TESTBED),
+    workload=WorkloadSpec("spatial_reuse", {"count": 6, "path_hops": 4}),
+    seeds=(2,),
+))
+
+register(ScenarioSpec(
+    name="fig_4_5",
+    description="Fig 4-5: average per-flow throughput vs number of concurrent "
+                "flows (sweep workload.flow_count)",
+    topology=copy.deepcopy(_TESTBED),
+    workload=WorkloadSpec("multiflow", {"flows_per_set": 4, "set_count": 3}),
+    mode="multiflow",
+    seeds=(3,),
+    sweep={"workload.flow_count": (1, 2, 3, 4)},
+))
+
+register(ScenarioSpec(
+    name="fig_4_6",
+    description="Fig 4-6: opportunistic routing at fixed 11 Mb/s vs Srcr with "
+                "Onoe autorate",
+    topology=copy.deepcopy(_TESTBED),
+    workload=WorkloadSpec("random_pairs", {"count": 8}),
+    protocols=("MORE", "ExOR", "Srcr", "Srcr/auto"),
+    run={"bitrate": RATE_11MBPS},
+    seeds=(4,),
+))
+
+register(ScenarioSpec(
+    name="fig_4_7",
+    description="Fig 4-7: batch-size sensitivity, MORE vs ExOR "
+                "(sweep run.batch_size)",
+    topology=copy.deepcopy(_TESTBED),
+    workload=WorkloadSpec("random_pairs", {"count": 6}),
+    protocols=("MORE", "ExOR"),
+    seeds=(5,),
+    sweep={"run.batch_size": (8, 16, 32, 64, 128)},
+))
+
+register(ScenarioSpec(
+    name="fig_5_1",
+    description="Section 5.7: ETX-vs-EOTX ordering-gap survey on the testbed "
+                "(analytic, no packet simulation)",
+    topology=TopologySpec("indoor_testbed", {"node_count": 20, "floors": 3, "seed": 6}),
+    workload=WorkloadSpec("random_pairs", {"count": 20}),
+    mode="gap",
+    seeds=(6,),
+))
+
+# --------------------------------------------------------------------------- #
+# Generic scenario families beyond the paper
+# --------------------------------------------------------------------------- #
+
+register(ScenarioSpec(
+    name="chain_smoke",
+    description="Fast smoke scenario: one flow over a lossy 3-hop chain with "
+                "weak skip links (seconds, used by CLI tests)",
+    topology=TopologySpec("chain", {"hops": 3, "link_delivery": 0.7,
+                                    "skip_delivery": 0.2}),
+    workload=WorkloadSpec("explicit", {"pairs": [[0, 3]]}),
+    run={"total_packets": 32, "batch_size": 16, "packet_size": 256,
+         "coding_payload_size": 16},
+    seeds=(1,),
+))
+
+register(ScenarioSpec(
+    name="grid_5x5",
+    description="5x5 grid mesh with diagonal links, random pairs, all three "
+                "protocols",
+    topology=TopologySpec("grid", {"rows": 5, "cols": 5}),
+    workload=WorkloadSpec("random_pairs", {"count": 8, "min_hops": 2}),
+    run={"total_packets": 64},
+    seeds=(1,),
+))
+
+register(ScenarioSpec(
+    name="random_geometric_16",
+    description="16-node random geometric mesh (outdoor-style Roofnet loss "
+                "profile), random pairs",
+    topology=TopologySpec("random_geometric", {"node_count": 16, "area": 120.0,
+                                               "seed": 2}),
+    workload=WorkloadSpec("random_pairs", {"count": 8}),
+    run={"total_packets": 64},
+    seeds=(1,),
+))
+
+register(ScenarioSpec(
+    name="chain_batch_sweep",
+    description="Batch-size sweep (K=8..64) for MORE vs ExOR on a lossy "
+                "4-hop chain",
+    topology=TopologySpec("chain", {"hops": 4, "link_delivery": 0.7,
+                                    "skip_delivery": 0.2}),
+    workload=WorkloadSpec("explicit", {"pairs": [[0, 4]]}),
+    protocols=("MORE", "ExOR"),
+    run={"total_packets": 64, "packet_size": 512, "coding_payload_size": 16},
+    seeds=(1,),
+    sweep={"run.batch_size": (8, 16, 32, 64)},
+))
+
+register(ScenarioSpec(
+    name="multiflow_grid",
+    description="Contention study: 1-3 concurrent flows on a 4x4 grid "
+                "(sweep workload.flow_count)",
+    topology=TopologySpec("grid", {"rows": 4, "cols": 4}),
+    workload=WorkloadSpec("multiflow", {"flows_per_set": 3, "set_count": 2}),
+    mode="multiflow",
+    run={"total_packets": 48},
+    seeds=(1,),
+    sweep={"workload.flow_count": (1, 2, 3)},
+))

@@ -1,0 +1,289 @@
+"""Declarative experiment descriptions: the :class:`ScenarioSpec` schema.
+
+A scenario describes *what* to simulate — topology, workload, protocols,
+transfer configuration, replication seeds and sweep axes — as plain data
+that round-trips through dicts and JSON.  Execution lives in
+:mod:`repro.scenarios.execute` (one cell) and
+:mod:`repro.experiments.parallel` (a whole sweep across worker processes);
+named presets covering the paper's figures live in
+:mod:`repro.scenarios.presets`.
+
+The unit of execution is a :class:`ScenarioCell`: one fully-resolved
+scenario (every sweep axis pinned to a single value) plus one seed.
+``ScenarioSpec.expand()`` produces the cartesian product of all sweep axes
+and seeds, so a sweep is just a list of independent, deterministic cells —
+which is what makes parallel execution bit-for-bit identical to serial.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+from repro.experiments.runner import PROTOCOLS, RunConfig
+
+#: Execution modes understood by :func:`repro.scenarios.execute.run_cell`.
+MODES = ("throughput", "multiflow", "gap")
+
+#: A transfer always spans at least this many batches, mirroring the
+#: Figure 4-7 harness (``total_packets = max(2 * K, total_packets)``) so a
+#: batch-size sweep never degenerates into a sub-batch transfer.
+MIN_BATCHES_PER_TRANSFER = 2
+
+
+def _apply_dotted(spec: "ScenarioSpec", path: str, value: Any) -> None:
+    """Set one dotted-path override (e.g. ``run.batch_size``) on ``spec``."""
+    head, _, rest = path.partition(".")
+    if head == "run":
+        if not rest or "." in rest:
+            raise ValueError(f"run overrides need a single field name, got {path!r}")
+        if rest not in {f.name for f in fields(RunConfig)}:
+            raise ValueError(f"unknown RunConfig field {rest!r} in axis {path!r}")
+        spec.run[rest] = value
+    elif head in ("topology", "workload"):
+        target = getattr(spec, head)
+        if not rest:
+            raise ValueError(f"{head} overrides need a parameter name, got {path!r}")
+        if rest == "kind":
+            target.kind = value
+        else:
+            target.params[rest] = value
+    elif head == "protocols" and not rest:
+        # A bare string means one protocol, not a tuple of its characters.
+        spec.protocols = (value,) if isinstance(value, str) else tuple(value)
+    elif head == "mode" and not rest:
+        spec.mode = str(value)
+    else:
+        raise ValueError(
+            f"unsupported override path {path!r}; expected run.*, topology.*, "
+            "workload.*, protocols or mode"
+        )
+
+
+@dataclass
+class TopologySpec:
+    """Which topology generator to call and with what parameters.
+
+    ``kind`` names a generator in :mod:`repro.topology.generator` (see
+    :data:`repro.scenarios.build.TOPOLOGY_BUILDERS`); ``params`` are its
+    keyword arguments.  Generators are deterministic given their params, so
+    a TopologySpec fully determines the mesh.
+    """
+
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TopologySpec":
+        if "kind" not in data:
+            raise ValueError("topology spec needs a 'kind' field")
+        return cls(kind=data["kind"], params=dict(data.get("params", {})))
+
+
+@dataclass
+class WorkloadSpec:
+    """Which source-destination pairs (or flow sets) the experiment drives.
+
+    ``kind`` selects a generator from :mod:`repro.experiments.workloads`
+    (``random_pairs``, ``spatial_reuse``, ``challenged``, ``explicit``,
+    ``multiflow``); ``params`` are its arguments.  If ``params`` carries no
+    ``seed``, the cell's seed is used, matching the paper harnesses where
+    one seed drives both pair selection and the simulator.
+    """
+
+    kind: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WorkloadSpec":
+        if "kind" not in data:
+            raise ValueError("workload spec needs a 'kind' field")
+        return cls(kind=data["kind"], params=dict(data.get("params", {})))
+
+
+@dataclass
+class ScenarioSpec:
+    """One declarative experiment: topology × workload × protocols × sweep.
+
+    Attributes:
+        name: registry / cache key; also the subdirectory under ``results/``.
+        description: one-line human description (shown by ``repro list``).
+        topology: the mesh to simulate on.
+        workload: the flows to drive across it.
+        protocols: protocol tokens; plain names (``MORE``, ``ExOR``,
+            ``Srcr``) or variants such as ``Srcr/auto`` (Srcr with Onoe-style
+            autorate, the Figure 4-6 baseline).
+        mode: ``throughput`` (one flow at a time per pair, the Fig 4-2
+            method), ``multiflow`` (concurrent flow sets, Fig 4-5) or
+            ``gap`` (analytic ETX-vs-EOTX survey, Fig 5-1 — no simulator).
+        run: overrides for :class:`repro.experiments.runner.RunConfig`
+            fields (``batch_size``, ``total_packets``, ``bitrate``, …).
+        seeds: replication seeds; each seed is one cell per sweep point.
+        sweep: dotted-path axes (``run.batch_size``, ``workload.flow_count``)
+            mapped to the list of values to sweep; cells are the cartesian
+            product across axes.
+    """
+
+    name: str
+    topology: TopologySpec
+    workload: WorkloadSpec
+    description: str = ""
+    protocols: tuple[str, ...] = PROTOCOLS
+    mode: str = "throughput"
+    run: dict[str, Any] = field(default_factory=dict)
+    seeds: tuple[int, ...] = (1,)
+    sweep: dict[str, tuple] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; expected one of {MODES}")
+        if isinstance(self.protocols, str):
+            self.protocols = (self.protocols,)
+        self.protocols = tuple(self.protocols)
+        self.seeds = tuple(int(s) for s in self.seeds)
+        self.sweep = {path: tuple(values) for path, values in self.sweep.items()}
+
+    # -- serialisation ----------------------------------------------------- #
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "topology": self.topology.to_dict(),
+            "workload": self.workload.to_dict(),
+            "protocols": list(self.protocols),
+            "mode": self.mode,
+            "run": dict(self.run),
+            "seeds": list(self.seeds),
+            "sweep": {path: list(values) for path, values in self.sweep.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
+        missing = {"name", "topology", "workload"} - set(data)
+        if missing:
+            raise ValueError(f"scenario spec is missing required field(s): "
+                             f"{sorted(missing)}")
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            topology=TopologySpec.from_dict(data["topology"]),
+            workload=WorkloadSpec.from_dict(data["workload"]),
+            protocols=data.get("protocols", PROTOCOLS),  # __post_init__ normalises
+            mode=data.get("mode", "throughput"),
+            run=dict(data.get("run", {})),
+            seeds=tuple(data.get("seeds", (1,))),
+            sweep={path: tuple(vals) for path, vals in data.get("sweep", {}).items()},
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- resolution -------------------------------------------------------- #
+
+    def with_overrides(self, overrides: dict[str, Any]) -> "ScenarioSpec":
+        """A deep copy with dotted-path overrides applied (sweep untouched)."""
+        spec = copy.deepcopy(self)
+        for path, value in overrides.items():
+            _apply_dotted(spec, path, value)
+        return spec
+
+    def run_config(self, seed: int | None = None) -> RunConfig:
+        """The :class:`RunConfig` for one cell of this scenario.
+
+        ``seed`` wins unless the ``run`` overrides pin one explicitly.  The
+        transfer is stretched to at least :data:`MIN_BATCHES_PER_TRANSFER`
+        batches so batch-size sweeps stay well-posed.
+        """
+        known = {f.name for f in fields(RunConfig)}
+        unknown = set(self.run) - known
+        if unknown:
+            raise ValueError(f"unknown RunConfig fields in scenario {self.name!r}: "
+                             f"{sorted(unknown)}")
+        values = dict(self.run)
+        if seed is not None:
+            values.setdefault("seed", int(seed))
+        config = RunConfig(**values)
+        config.total_packets = max(config.total_packets,
+                                   MIN_BATCHES_PER_TRANSFER * config.batch_size)
+        return config
+
+    def expand(self) -> list["ScenarioCell"]:
+        """All cells of this sweep: cartesian product of sweep axes × seeds.
+
+        The cell order (axes in insertion order, seeds innermost) and each
+        cell's content depend only on the spec, which is what makes result
+        caching and parallel execution deterministic.
+        """
+        axis_paths = list(self.sweep)
+        axis_values = [self.sweep[path] for path in axis_paths]
+        cells = []
+        index = 0
+        for combo in itertools.product(*axis_values):
+            axes = dict(zip(axis_paths, combo))
+            resolved = self.with_overrides(axes)
+            resolved.sweep = {}
+            for seed in self.seeds:
+                cell_spec = copy.deepcopy(resolved)
+                cell_spec.seeds = (seed,)
+                cells.append(ScenarioCell(scenario=cell_spec, seed=int(seed),
+                                          axes=dict(axes), index=index))
+                index += 1
+        return cells
+
+
+@dataclass
+class ScenarioCell:
+    """One fully-resolved (scenario, seed) point of a sweep."""
+
+    scenario: ScenarioSpec
+    seed: int
+    axes: dict[str, Any] = field(default_factory=dict)
+    index: int = 0
+
+    def key(self) -> str:
+        """A stable content hash identifying this cell (used as cache key)."""
+        payload = {
+            "scenario": self.scenario.to_dict(),
+            "seed": self.seed,
+            "axes": self.axes,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def label(self) -> str:
+        """Short human label: axis values plus the seed."""
+        parts = [f"{path.split('.')[-1]}={value}" for path, value in self.axes.items()]
+        parts.append(f"seed={self.seed}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "seed": self.seed,
+            "axes": dict(self.axes),
+            "index": self.index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioCell":
+        return cls(
+            scenario=ScenarioSpec.from_dict(data["scenario"]),
+            seed=int(data["seed"]),
+            axes=dict(data.get("axes", {})),
+            index=int(data.get("index", 0)),
+        )

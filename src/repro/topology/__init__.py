@@ -12,6 +12,7 @@ from repro.topology.generator import (
     diamond,
     grid,
     indoor_testbed,
+    random_geometric,
     random_mesh,
     two_hop_relay,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "indoor_testbed",
     "perfect_estimates",
     "probe_estimated_topology",
+    "random_geometric",
     "random_mesh",
     "two_hop_relay",
 ]

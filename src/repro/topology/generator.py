@@ -142,6 +142,33 @@ def _ensure_connected(topology: Topology, positions: list[tuple[float, float, fl
         topology.set_delivery(best[1], best[2], probability, symmetric=True)
 
 
+def random_geometric(node_count: int = 16, area: float = 120.0, seed: int = 0) -> Topology:
+    """A random geometric mesh: nodes uniform in an ``area`` × ``area`` square.
+
+    Link qualities come from the same log-distance/shadowing model as
+    :func:`indoor_testbed` (single floor), so the loss-rate distribution is
+    Roofnet-like rather than uniform; the layout is patched to be connected.
+    This is the outdoor-style counterpart of the indoor testbed and the
+    topology family used by relay-count/rate studies of MORE.
+    """
+    if node_count < 2:
+        raise ValueError("a mesh needs at least two nodes")
+    rng = np.random.default_rng(seed)
+    positions = [(float(rng.uniform(0.0, area)), float(rng.uniform(0.0, area)), 0.0)
+                 for _ in range(node_count)]
+    delivery = np.zeros((node_count, node_count), dtype=float)
+    for i in range(node_count):
+        for j in range(i + 1, node_count):
+            xi, yi, _ = positions[i]
+            xj, yj, _ = positions[j]
+            distance = float(np.hypot(xi - xj, yi - yj))
+            probability = _distance_to_delivery(distance, 0, rng)
+            delivery[i, j] = delivery[j, i] = probability
+    topology = Topology(delivery, positions=positions)
+    _ensure_connected(topology, positions, rng)
+    return topology
+
+
 def two_hop_relay(source_to_relay: float = 1.0, relay_to_destination: float = 1.0,
                   source_to_destination: float = 0.49) -> Topology:
     """The motivating example of Figure 1-1 (src, relay R, dst).

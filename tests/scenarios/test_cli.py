@@ -1,0 +1,103 @@
+"""CLI smoke tests: ``python -m repro list/show/run/sweep/report``."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import ScenarioSpec
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def repro_cli(*args: str, cwd: Path | None = None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run([sys.executable, "-m", "repro", *args],
+                          capture_output=True, text=True, env=env,
+                          cwd=str(cwd) if cwd else None, timeout=300)
+
+
+def test_list_names_every_figure_preset():
+    proc = repro_cli("list")
+    assert proc.returncode == 0, proc.stderr
+    for name in ("fig_4_2", "fig_4_5", "fig_4_7", "fig_5_1", "chain_smoke"):
+        assert name in proc.stdout
+
+
+def test_show_emits_a_loadable_spec():
+    proc = repro_cli("show", "--preset", "chain_smoke")
+    assert proc.returncode == 0, proc.stderr
+    spec = ScenarioSpec.from_json(proc.stdout)
+    assert spec.name == "chain_smoke"
+    assert spec.topology.kind == "chain"
+
+
+def test_run_preset_with_override(tmp_path):
+    proc = repro_cli("run", "--preset", "chain_smoke", "--no-cache",
+                     "--set", "run.total_packets=16", cwd=tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert "[chain_smoke]" in proc.stdout
+    assert "MORE" in proc.stdout
+    assert not (tmp_path / "results").exists()  # --no-cache writes nothing
+
+
+def test_run_unknown_preset_fails():
+    proc = repro_cli("run", "--preset", "fig_9_9")
+    assert proc.returncode != 0
+
+
+def test_run_without_spec_or_preset_fails():
+    proc = repro_cli("run")
+    assert proc.returncode != 0
+    assert "--preset" in proc.stderr
+
+
+def test_sweep_caches_json_and_report_reads_it(tmp_path):
+    proc = repro_cli("sweep", "--preset", "chain_smoke", "--workers", "2",
+                     "--set", "run.total_packets=16", "--json", cwd=tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["scenario"] == "chain_smoke"
+    assert payload["cells"]
+    cache_files = list((tmp_path / "results" / "chain_smoke").glob("cell-*.json"))
+    assert cache_files
+
+    report = repro_cli("report", cwd=tmp_path)
+    assert report.returncode == 0, report.stderr
+    assert "chain_smoke" in report.stdout
+
+    # Re-running the identical sweep is served from the cache.
+    again = repro_cli("sweep", "--preset", "chain_smoke", "--workers", "2",
+                      "--set", "run.total_packets=16", "--json", cwd=tmp_path)
+    assert json.loads(again.stdout)["cached_cells"] == len(payload["cells"])
+
+
+def test_sweep_accepts_spec_file_and_extra_axis(tmp_path):
+    show = repro_cli("show", "--preset", "chain_smoke")
+    spec_file = tmp_path / "scenario.json"
+    spec_file.write_text(show.stdout)
+    proc = repro_cli("sweep", "--spec", str(spec_file), "--no-cache",
+                     "--set", "run.total_packets=16",
+                     "--axis", "run.batch_size=8,16", "--seeds", "1,2",
+                     cwd=tmp_path)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.count("[chain_smoke]") == 4  # 2 batch sizes x 2 seeds
+
+
+def test_report_with_no_results_explains(tmp_path):
+    proc = repro_cli("report", cwd=tmp_path)
+    assert proc.returncode == 1
+    assert "no cached results" in proc.stdout
+
+
+@pytest.mark.parametrize("preset", ["fig_4_2", "fig_4_7"])
+def test_show_paper_presets(preset):
+    proc = repro_cli("show", "--preset", preset)
+    assert proc.returncode == 0
+    assert json.loads(proc.stdout)["name"] == preset

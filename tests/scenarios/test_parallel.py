@@ -1,0 +1,126 @@
+"""Parallel sweep runner: serial == parallel, figure equivalence, caching."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.figures import figure_4_2
+from repro.experiments.parallel import (
+    cell_cache_path,
+    load_cached_results,
+    run_scenario,
+    run_sweep,
+)
+from repro.experiments.runner import RunConfig
+from repro.scenarios import ScenarioSpec, TopologySpec, WorkloadSpec, get_preset, run_cell
+
+
+@pytest.fixture
+def tiny_sweep() -> ScenarioSpec:
+    """A sub-second two-cell sweep on a lossy chain."""
+    return ScenarioSpec(
+        name="tiny_sweep",
+        topology=TopologySpec("chain", {"hops": 3, "link_delivery": 0.7,
+                                        "skip_delivery": 0.2}),
+        workload=WorkloadSpec("explicit", {"pairs": [[0, 3]]}),
+        protocols=("MORE", "Srcr"),
+        run={"total_packets": 32, "batch_size": 8, "packet_size": 256,
+             "coding_payload_size": 16},
+        seeds=(1,),
+        sweep={"run.batch_size": (8, 16)},
+    )
+
+
+def test_parallel_matches_serial_bit_for_bit(tiny_sweep):
+    serial = run_sweep(tiny_sweep, workers=1, results_dir=None)
+    parallel = run_sweep(tiny_sweep, workers=2, results_dir=None)
+    assert [cell.to_dict() for cell in serial.cells] \
+        == [cell.to_dict() for cell in parallel.cells]
+
+
+def test_scenario_layer_matches_figure_4_2_bit_for_bit():
+    """The acceptance check: the fig_4_2 preset reproduces the serial figure
+    harness exactly (reduced pair count / transfer size for test speed)."""
+    spec = get_preset("fig_4_2")
+    spec.workload.params["count"] = 3
+    spec.run["total_packets"] = 64
+    result = run_cell(spec.expand()[0])
+    figure = figure_4_2(pair_count=3, seed=1,
+                        config=RunConfig(total_packets=64, seed=1))
+    for protocol in ("MORE", "ExOR", "Srcr"):
+        assert result.series[protocol] == figure.series[protocol]
+
+
+def test_multiflow_parallel_matches_serial():
+    spec = get_preset("multiflow_grid")
+    spec.workload.params["set_count"] = 1
+    spec.run["total_packets"] = 24
+    spec.run["batch_size"] = 8
+    spec.sweep["workload.flow_count"] = (1, 2)
+    serial = run_sweep(spec, workers=1, results_dir=None)
+    parallel = run_sweep(spec, workers=2, results_dir=None)
+    assert [cell.series for cell in serial.cells] \
+        == [cell.series for cell in parallel.cells]
+
+
+def test_gap_mode_runs_without_simulator(tmp_path):
+    spec = get_preset("fig_5_1")
+    spec.workload.params["count"] = 5
+    result = run_sweep(spec, workers=1, results_dir=tmp_path)
+    (cell,) = result.cells
+    assert len(cell.series["gap"]) == 5
+    assert all(gap >= 1.0 for gap in cell.series["gap"])
+    assert "fraction_unaffected" in cell.summary
+
+
+class TestCaching:
+    def test_cache_hit_and_reuse(self, tiny_sweep, tmp_path):
+        first = run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        assert first.cached_cells == 0
+        second = run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        assert second.cached_cells == len(second.cells)
+        assert [cell.to_dict() for cell in first.cells] \
+            == [cell.to_dict() for cell in second.cells]
+
+    def test_cache_layout_and_report_loader(self, tiny_sweep, tmp_path):
+        run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        files = sorted((tmp_path / "tiny_sweep").glob("cell-*.json"))
+        assert len(files) == 2
+        payload = json.loads(files[0].read_text())
+        assert set(payload) == {"cell", "result"}
+        grouped = load_cached_results(tmp_path)
+        assert set(grouped) == {"tiny_sweep"}
+        assert len(grouped["tiny_sweep"]) == 2
+
+    def test_corrupt_cache_entry_is_recomputed(self, tiny_sweep, tmp_path):
+        run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        victim = cell_cache_path(tmp_path, tiny_sweep.expand()[0])
+        victim.write_text("{not json")
+        again = run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        assert again.cached_cells == len(again.cells) - 1
+        assert json.loads(victim.read_text())  # rewritten with a valid entry
+
+    def test_force_recomputes(self, tiny_sweep, tmp_path):
+        run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        forced = run_sweep(tiny_sweep, workers=1, results_dir=tmp_path, force=True)
+        assert forced.cached_cells == 0
+
+    def test_config_change_misses_cache(self, tiny_sweep, tmp_path):
+        run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        changed = tiny_sweep.with_overrides({"run.total_packets": 40})
+        rerun = run_sweep(changed, workers=1, results_dir=tmp_path)
+        assert rerun.cached_cells == 0
+
+
+def test_run_scenario_pins_seed(tiny_sweep):
+    result = run_scenario(tiny_sweep, seed=7, workers=1, results_dir=None)
+    assert {cell.seed for cell in result.cells} == {7}
+
+
+def test_sweep_report_mentions_every_cell(tiny_sweep):
+    result = run_sweep(tiny_sweep, workers=1, results_dir=None)
+    report = result.report()
+    assert report.count("[tiny_sweep]") == len(result.cells)
+    assert "2 cells" in report
