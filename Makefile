@@ -5,7 +5,7 @@ PYTHON  ?= python
 WORKERS ?= 4
 ENV      = PYTHONPATH=src
 
-.PHONY: test bench docs-check figures examples clean
+.PHONY: test bench bench-baseline docs-check figures examples clean
 
 # Tier-1 verification: the full suite (tests/ + benchmarks/), fail-fast.
 test:
@@ -15,6 +15,12 @@ test:
 # the full 5 MB transfers).
 bench:
 	$(ENV) $(PYTHON) -m pytest -q benchmarks $(PYTEST_ARGS)
+
+# Re-measure the coding-engine perf baseline and rewrite BENCH_coding.json
+# (kernel MB/s, packets/s per pipeline stage, wall-clock per protocol).
+# Not part of tier-1; run before/after perf work to quantify the change.
+bench-baseline:
+	$(ENV) $(PYTHON) scripts/bench_baseline.py
 
 # Every repro.* name referenced in README.md and docs/ must resolve.
 docs-check:

@@ -21,6 +21,31 @@ def pytest_addoption(parser):
         default=False,
         help="run the full-scale experiments (5 MB transfers, paper pair counts)",
     )
+    parser.addoption(
+        "--perf-strict",
+        action="store_true",
+        default=False,
+        help="enforce hard wall-clock thresholds (timing-ratio assertions); "
+             "off by default so tier-1 cannot flake under machine load",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf_strict: hard wall-clock threshold assertions; skipped unless "
+        "--perf-strict is given (they can fail spuriously on loaded machines)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--perf-strict"):
+        return
+    skip = pytest.mark.skip(
+        reason="wall-clock threshold assertion; opt in with --perf-strict")
+    for item in items:
+        if "perf_strict" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

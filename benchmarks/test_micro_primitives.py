@@ -3,6 +3,11 @@
 These complement Table 4.1: GF(2^8) vector kernels (the inner loop of all
 coding), the EOTX algorithms of Chapter 5 and Algorithm 1 on the full
 20-node testbed, and one end-to-end simulated transfer per protocol.
+
+Deliberately no wall-clock thresholds are asserted here: pytest-benchmark
+already reports best-of-rounds (min) timings, and hard timing assertions
+belong behind the opt-in ``--perf-strict`` marker (see ``conftest.py``) so
+tier-1 cannot flake under machine load.
 """
 
 from __future__ import annotations

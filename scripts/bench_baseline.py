@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""bench-baseline: record the coding-engine performance floor.
+
+Runs the coding micro-benchmarks (GF(2^8) kernels, encoder/buffer/decoder
+packet rates, one small end-to-end transfer per protocol) and writes the
+results to ``BENCH_coding.json`` at the repo root, so later PRs have a
+committed baseline to regress against:
+
+    make bench-baseline                 # or
+    PYTHONPATH=src python scripts/bench_baseline.py [output.json]
+
+Every quantity is measured best-of-N (minimum over rounds), the same
+discipline as :func:`repro.experiments.figures.table_4_1`: transient
+machine load inflates individual rounds, never the reported figure.  The
+file holds the machine-independent *shape* of the numbers; comparisons
+across machines should look at ratios, not absolutes.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.coding.decoder import BatchDecoder            # noqa: E402
+from repro.coding.encoder import ForwarderEncoder, SourceEncoder  # noqa: E402
+from repro.coding.packet import make_batch               # noqa: E402
+from repro.experiments.runner import PROTOCOLS, RunConfig, run_single_flow  # noqa: E402
+from repro.gf.arithmetic import scale_and_add            # noqa: E402
+from repro.gf.kernels import ShiftedRows, gf_matmul      # noqa: E402
+from repro.scenarios import build_topology, get_preset   # noqa: E402
+
+K = 32
+PACKET_SIZE = 1500
+ROUNDS = 5
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_coding.json"
+
+
+def best_of(measure, rounds: int = ROUNDS) -> float:
+    """Minimum measured seconds over ``rounds`` calls."""
+    return min(measure() for _ in range(rounds))
+
+
+def timed(func) -> float:
+    start = time.perf_counter()
+    func()
+    return time.perf_counter() - start
+
+
+def kernel_benchmarks() -> dict[str, float]:
+    """MB/s throughput of the GF(2^8) kernels (payload bytes processed)."""
+    rng = np.random.default_rng(0)
+    coefficients = rng.integers(0, 256, (K, K), dtype=np.uint8)
+    payloads = rng.integers(0, 256, (K, PACKET_SIZE), dtype=np.uint8)
+    operand = ShiftedRows(payloads)
+    accumulator = np.zeros(PACKET_SIZE, dtype=np.uint8)
+    packet = rng.integers(0, 256, PACKET_SIZE, dtype=np.uint8)
+
+    matmul_s = best_of(lambda: timed(lambda: gf_matmul(coefficients, payloads)))
+    cached_s = best_of(lambda: timed(lambda: operand.matmul(coefficients)))
+    scale_s = best_of(lambda: timed(lambda: scale_and_add(accumulator, packet, 0x53)))
+    produced = K * PACKET_SIZE / 1e6
+    return {
+        "gf_matmul_32x32x1500_mbps": produced / matmul_s,
+        "shifted_rows_cached_mbps": produced / cached_s,
+        "scale_and_add_1500B_mbps": PACKET_SIZE / 1e6 / scale_s,
+    }
+
+
+def coding_benchmarks() -> dict[str, float]:
+    """Packets per second through the encoder / buffer / decoder stages."""
+    batch = make_batch(batch_size=K, packet_size=PACKET_SIZE,
+                       rng=np.random.default_rng(1))
+    encoder = SourceEncoder(batch, np.random.default_rng(2))
+    encoder.next_packets(K)  # build the cached operand outside the timing
+
+    single_s = best_of(lambda: timed(encoder.next_packet))
+    batched_s = best_of(lambda: timed(lambda: encoder.next_packets(K))) / K
+
+    packets = encoder.next_packets(K)
+
+    def decode_batch():
+        decoder = BatchDecoder(batch_size=K, packet_size=PACKET_SIZE)
+        for coded in packets:
+            decoder.add_packet(coded)
+
+    decode_s = best_of(lambda: timed(decode_batch)) / K
+
+    def recode_batch():
+        forwarder = ForwarderEncoder(batch_size=K, packet_size=PACKET_SIZE,
+                                     rng=np.random.default_rng(3))
+        for coded in packets[: K // 2]:
+            forwarder.add_packet(coded)
+        for _ in range(K // 2):
+            forwarder.next_packet()
+
+    recode_s = best_of(lambda: timed(recode_batch)) / K
+
+    return {
+        "source_encode_pps": 1.0 / single_s,
+        "source_encode_batched_pps": 1.0 / batched_s,
+        "destination_decode_pps": 1.0 / decode_s,
+        "forwarder_recode_pps": 1.0 / recode_s,
+    }
+
+
+def protocol_benchmarks() -> dict[str, dict[str, float]]:
+    """Simulated packets per wall-clock second for one transfer per protocol."""
+    topology = build_topology(get_preset("fig_4_2").topology)
+    results: dict[str, dict[str, float]] = {}
+    for protocol in PROTOCOLS:
+        config = RunConfig(total_packets=96, batch_size=K, packet_size=PACKET_SIZE,
+                           seed=2)
+
+        def run() -> None:
+            run_single_flow(topology, protocol, 17, 2, config=config)
+
+        elapsed = best_of(lambda: timed(run), rounds=3)
+        results[protocol] = {
+            "wall_seconds": elapsed,
+            "simulated_pps_per_wall_second": config.total_packets / elapsed,
+        }
+    # The payload-free mode on the same MORE transfer, for the speedup ratio.
+    vector_config = RunConfig(total_packets=96, batch_size=K,
+                              packet_size=PACKET_SIZE, seed=2, vector_only=True)
+
+    def run_vector() -> None:
+        run_single_flow(topology, "MORE", 17, 2, config=vector_config)
+
+    elapsed = best_of(lambda: timed(run_vector), rounds=3)
+    results["MORE/vector-only"] = {
+        "wall_seconds": elapsed,
+        "simulated_pps_per_wall_second": vector_config.total_packets / elapsed,
+    }
+    return results
+
+
+def main(argv: list[str]) -> int:
+    output = Path(argv[0]) if argv else DEFAULT_OUTPUT
+    report = {
+        "schema": "bench-coding/v1",
+        "config": {"batch_size": K, "packet_size": PACKET_SIZE, "rounds": ROUNDS},
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "kernels_mbps": kernel_benchmarks(),
+        "coding_pps": coding_benchmarks(),
+        "protocols": protocol_benchmarks(),
+    }
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

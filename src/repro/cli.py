@@ -71,6 +71,8 @@ def _load_spec(args: argparse.Namespace) -> ScenarioSpec:
         spec.sweep[path] = tuple(_parse_value(item) for item in values.split(","))
     if getattr(args, "seeds", None):
         spec.seeds = tuple(int(seed) for seed in args.seeds.split(","))
+    if getattr(args, "vector_only", False):
+        spec = spec.with_overrides({"run.vector_only": True})
     return spec
 
 
@@ -87,6 +89,9 @@ def _add_spec_arguments(parser: argparse.ArgumentParser, sweep: bool) -> None:
                         help="neither read nor write the results cache")
     parser.add_argument("--force", action="store_true",
                         help="recompute cells even when cached")
+    parser.add_argument("--vector-only", action="store_true", dest="vector_only",
+                        help="payload-free fast path (run.vector_only=true): "
+                             "identical throughput/rank results, less arithmetic")
     parser.add_argument("--json", action="store_true",
                         help="print the full result as JSON instead of a report")
     if sweep:

@@ -13,6 +13,15 @@ pivot position the (reduced) code vector and the correspondingly combined
 payload so the destination can later decode with a cheap back-substitution
 free pass (the rows are maintained in *reduced* row-echelon form as the
 paper's decoder does).
+
+The rows live in two contiguous matrices (code vectors ``K x K``, payloads
+``K x S``) so every reduction is a vectorized kernel call from
+:mod:`repro.gf.kernels` rather than a K-iteration Python loop.  Because the
+stored matrix is in *reduced* row-echelon form, reducing an incoming vector
+against all pivots simultaneously (one ``(1, r) @ (r, K)`` product) is
+bit-identical to the paper's sequential row-by-row elimination: no stored
+row has a non-zero entry in another row's pivot column, so no reduction
+step can change the coefficient a later step reads.
 """
 
 from __future__ import annotations
@@ -20,7 +29,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.coding.packet import CodedPacket
-from repro.gf.arithmetic import scale_and_add, vec_scale
+from repro.gf.arithmetic import vec_scale
+from repro.gf.kernels import gf_outer, gf_vecmat
 from repro.gf.tables import INV
 
 
@@ -29,7 +39,10 @@ class BatchBuffer:
 
     Args:
         batch_size: K, the number of native packets in the batch.
-        packet_size: payload bytes per packet.
+        packet_size: payload bytes per packet.  A size of 0 is valid and is
+            how the vector-only simulation mode skips payload arithmetic
+            entirely: rank progression and decoding bookkeeping still work,
+            but every payload is the empty vector.
         track_payloads: when False only code vectors are stored; forwarders
             that merely need rank information (e.g. in analytical tests) can
             avoid the payload memory.
@@ -43,9 +56,12 @@ class BatchBuffer:
         self.batch_size = batch_size
         self.packet_size = packet_size
         self.track_payloads = track_payloads
-        # Row i, when present, has its leading non-zero coefficient at column i.
-        self._vectors: list[np.ndarray | None] = [None] * batch_size
-        self._payloads: list[np.ndarray | None] = [None] * batch_size
+        # Row i, when occupied, has its leading non-zero coefficient at
+        # column i.  Unoccupied rows stay all-zero.
+        self._matrix = np.zeros((batch_size, batch_size), dtype=np.uint8)
+        self._payload_rows = (np.zeros((batch_size, packet_size), dtype=np.uint8)
+                              if track_payloads else None)
+        self._occupied = np.zeros(batch_size, dtype=bool)
         self._rank = 0
         self.received = 0
         self.innovative = 0
@@ -62,7 +78,7 @@ class BatchBuffer:
 
     def occupied_pivots(self) -> list[int]:
         """Return the pivot columns currently present, in increasing order."""
-        return [i for i, row in enumerate(self._vectors) if row is not None]
+        return [int(i) for i in np.nonzero(self._occupied)[0]]
 
     def add(self, packet: CodedPacket) -> bool:
         """Insert a coded packet; return True iff it was innovative.
@@ -86,94 +102,85 @@ class BatchBuffer:
                 f"{self.packet_size}"
             )
 
-        # Phase 1: reduce the incoming vector against *every* stored pivot row
-        # (stored rows are themselves reduced, so one pass suffices).  This
-        # zeroes all pivot columns of the incoming vector, which is required
-        # for the stored matrix to remain in *reduced* row-echelon form —
-        # otherwise the full-rank matrix is not the identity and decoding
-        # would return corrupted payloads.
-        for column in range(self.batch_size):
-            existing = self._vectors[column]
-            if existing is None:
-                continue
-            coefficient = int(vector[column])
-            if coefficient == 0:
-                continue
-            # u <- u - M[column] * u[column]; subtraction is XOR.
-            scale_and_add(vector, existing, coefficient)
-            if payload is not None and self._payloads[column] is not None:
-                scale_and_add(payload, self._payloads[column], coefficient)
+        # Phase 1: reduce the incoming vector against *every* stored pivot
+        # row in one kernel call.  Stored rows are reduced, so the pivot
+        # coefficients read from the incoming vector cannot change mid-pass
+        # and the simultaneous reduction equals the sequential one.
+        pivots = np.nonzero(self._occupied)[0]
+        if pivots.size:
+            coefficients = vector[pivots]
+            if coefficients.any():
+                vector ^= gf_vecmat(coefficients, self._matrix[pivots])
+                if payload is not None and self.packet_size:
+                    payload ^= gf_vecmat(coefficients, self._payload_rows[pivots])
 
         # Phase 2: the first remaining non-zero column (necessarily pivot
         # free) becomes the new pivot; normalise and clean the other rows.
-        pivot_columns = np.nonzero(vector)[0]
-        if pivot_columns.size == 0:
+        remaining = np.nonzero(vector)[0]
+        if remaining.size == 0:
             # Vector reduced to zero: the packet is not innovative.
             return False
-        column = int(pivot_columns[0])
-        coefficient = int(vector[column])
-        inverse = int(INV[coefficient])
+        column = int(remaining[0])
+        inverse = int(INV[int(vector[column])])
         vector = vec_scale(vector, inverse)
         if payload is not None:
             payload = vec_scale(payload, inverse)
-        for other in range(self.batch_size):
-            other_vector = self._vectors[other]
-            if other == column or other_vector is None:
-                continue
-            factor = int(other_vector[column])
-            if factor:
-                scale_and_add(other_vector, vector, factor)
-                if self.track_payloads and self._payloads[other] is not None and payload is not None:
-                    scale_and_add(self._payloads[other], payload, factor)
-        self._vectors[column] = vector
-        self._payloads[column] = payload
+        if pivots.size:
+            factors = self._matrix[pivots, column]
+            mask = factors != 0
+            hit = pivots[mask]
+            if hit.size:
+                # Rank-1 update: clear the new pivot column from every
+                # stored row at once.
+                hit_factors = factors[mask]
+                self._matrix[hit] ^= gf_outer(hit_factors, vector)
+                if self.track_payloads and self.packet_size and payload is not None:
+                    self._payload_rows[hit] ^= gf_outer(hit_factors, payload)
+        self._matrix[column] = vector
+        if self._payload_rows is not None and payload is not None:
+            self._payload_rows[column] = payload
+        self._occupied[column] = True
         self._rank += 1
         self.innovative += 1
         return True
 
     def is_innovative(self, code_vector: np.ndarray) -> bool:
         """Check whether a code vector would be innovative, without inserting it."""
-        vector = np.asarray(code_vector, dtype=np.uint8).copy()
+        vector = np.asarray(code_vector, dtype=np.uint8)
         if vector.shape[0] != self.batch_size:
             raise ValueError("code vector length does not match batch size")
-        for column in range(self.batch_size):
-            coefficient = int(vector[column])
-            if coefficient == 0:
-                continue
-            existing = self._vectors[column]
-            if existing is None:
-                return True
-            scale_and_add(vector, existing, coefficient)
-        return False
+        if self._rank == 0:
+            return bool(vector.any())
+        if self.is_full:
+            return False
+        pivots = np.nonzero(self._occupied)[0]
+        coefficients = vector[pivots]
+        if not coefficients.any():
+            return bool(vector.any())
+        reduced = vector ^ gf_vecmat(coefficients, self._matrix[pivots])
+        return bool(reduced.any())
 
     def stored_packets(self) -> list[CodedPacket]:
         """Return the stored (reduced) packets as :class:`CodedPacket` objects."""
         packets = []
-        for column in range(self.batch_size):
-            vector = self._vectors[column]
-            if vector is None:
-                continue
-            payload = self._payloads[column]
-            if payload is None:
+        for column in self.occupied_pivots():
+            if self._payload_rows is not None:
+                payload = self._payload_rows[column].copy()
+            else:
                 payload = np.zeros(self.packet_size, dtype=np.uint8)
-            packets.append(CodedPacket(code_vector=vector.copy(), payload=payload.copy()))
+            packets.append(CodedPacket(code_vector=self._matrix[column].copy(),
+                                       payload=payload))
         return packets
 
     def coefficient_matrix(self) -> np.ndarray:
         """Return the stored code vectors stacked as a rank x K matrix."""
-        rows = [v for v in self._vectors if v is not None]
-        if not rows:
-            return np.zeros((0, self.batch_size), dtype=np.uint8)
-        return np.stack(rows)
+        return self._matrix[self._occupied].copy()
 
     def payload_matrix(self) -> np.ndarray:
         """Return the stored payloads stacked as a rank x S matrix."""
-        if not self.track_payloads:
+        if self._payload_rows is None:
             raise RuntimeError("buffer was created without payload tracking")
-        rows = [p for p in self._payloads if p is not None]
-        if not rows:
-            return np.zeros((0, self.packet_size), dtype=np.uint8)
-        return np.stack(rows)
+        return self._payload_rows[self._occupied].copy()
 
     def decode(self) -> np.ndarray:
         """Recover the K native payloads; requires a full-rank buffer.
@@ -189,7 +196,7 @@ class BatchBuffer:
             RuntimeError: if the buffer is not yet full rank or payloads are
                 not tracked.
         """
-        if not self.track_payloads:
+        if self._payload_rows is None:
             raise RuntimeError("cannot decode a buffer created without payload tracking")
         if not self.is_full:
             raise RuntimeError(
@@ -199,6 +206,8 @@ class BatchBuffer:
 
     def clear(self) -> None:
         """Drop all stored state (used when a batch is flushed)."""
-        self._vectors = [None] * self.batch_size
-        self._payloads = [None] * self.batch_size
+        self._matrix[:] = 0
+        if self._payload_rows is not None:
+            self._payload_rows[:] = 0
+        self._occupied[:] = False
         self._rank = 0

@@ -4,13 +4,26 @@ Two encoders are provided:
 
 * :class:`SourceEncoder` — codes over the K native packets of the current
   batch (Section 3.1.1).  Every transmission is a fresh random linear
-  combination ``p' = sum_i c_i p_i``.
+  combination ``p' = sum_i c_i p_i``; :meth:`SourceEncoder.next_packets`
+  produces N combinations with a single ``(N, K) @ (K, S)`` kernel call.
 * :class:`ForwarderEncoder` — codes over the innovative coded packets a
   forwarder has buffered (Section 3.1.2) and additionally implements the
   *pre-coding* optimisation of Section 3.2.3(c): a combination is prepared
   ahead of the transmission opportunity and incrementally updated when new
   innovative packets arrive, so no coding delay is inserted in front of a
   transmission.
+
+Both encoders draw their combination coefficients through
+:func:`repro.gf.arithmetic.random_code_vector`, the shared guard that
+re-draws the (astronomically unlikely) all-zero vector so every transmitted
+packet carries information.
+
+Ownership invariant: a :class:`~repro.coding.packet.CodedPacket` handed out
+by ``next_packet`` / ``next_packets`` never aliases encoder-internal state —
+the arrays a packet carries are private copies, so later ``add_packet``
+calls (which update the pre-coded combination in place) cannot mutate a
+packet already given to the MAC layer.  The forwarder additionally drops
+its own references to the handed-out arrays before re-coding.
 """
 
 from __future__ import annotations
@@ -19,7 +32,12 @@ import numpy as np
 
 from repro.coding.buffer import BatchBuffer
 from repro.coding.packet import Batch, CodedPacket
-from repro.gf.arithmetic import random_coefficients, scale_and_add
+from repro.gf.arithmetic import (
+    random_code_vector,
+    random_nonzero_coefficient,
+    scale_and_add,
+)
+from repro.gf.kernels import ShiftedRows, gf_vecmat
 
 
 class SourceEncoder:
@@ -31,6 +49,10 @@ class SourceEncoder:
         self.batch = batch
         self.rng = rng
         self._payloads = batch.payload_matrix()
+        # The batch payloads never change, so the shifted-row stack is built
+        # once (on first use — sources hold encoders for future batches too)
+        # and every coded packet afterwards is a single XOR-reduce.
+        self._operand: ShiftedRows | None = None
         self.packets_generated = 0
 
     @property
@@ -40,18 +62,32 @@ class SourceEncoder:
 
     def next_packet(self) -> CodedPacket:
         """Produce a fresh coded packet over all K native packets."""
-        coefficients = random_coefficients(self.batch_size, self.rng)
-        # Guard against the (astronomically unlikely) all-zero draw so that
-        # every transmitted packet carries information.
-        while not coefficients.any():
-            coefficients = random_coefficients(self.batch_size, self.rng)
-        payload = np.zeros(self.batch.packet_size, dtype=np.uint8)
-        for index, coefficient in enumerate(coefficients):
-            scale_and_add(payload, self._payloads[index], int(coefficient))
-        self.packets_generated += 1
-        return CodedPacket(
-            code_vector=coefficients, payload=payload, batch_id=self.batch.batch_id
-        )
+        return self.next_packets(1)[0]
+
+    def next_packets(self, count: int) -> list[CodedPacket]:
+        """Produce ``count`` fresh coded packets with one batched kernel call.
+
+        The coefficient rows are drawn exactly as ``count`` sequential
+        :meth:`next_packet` calls would draw them (one vector per call, with
+        the all-zero re-draw guard), so the two paths are bit-identical for
+        the same RNG state; only the payload arithmetic is batched.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        coefficients = np.empty((count, self.batch_size), dtype=np.uint8)
+        for i in range(count):
+            coefficients[i] = random_code_vector(self.batch_size, self.rng)
+        if self._operand is None:
+            self._operand = ShiftedRows(self._payloads)
+        payloads = self._operand.matmul(coefficients)
+        self.packets_generated += count
+        # Both matrices were allocated for this call alone, so the packets
+        # can own their rows outright — no defensive copy needed.
+        return [
+            CodedPacket.from_owned(coefficients[i], payloads[i],
+                                   batch_id=self.batch.batch_id)
+            for i in range(count)
+        ]
 
 
 class ForwarderEncoder:
@@ -88,26 +124,35 @@ class ForwarderEncoder:
             if self._precoded_vector is None:
                 self._start_precode()
             else:
-                coefficient = int(self.rng.integers(1, 256))
+                coefficient = random_nonzero_coefficient(self.rng)
                 scale_and_add(self._precoded_vector, packet.code_vector, coefficient)
                 scale_and_add(self._precoded_payload, packet.payload, coefficient)
+                if not self._precoded_vector.any():
+                    # Degenerate fold: cannot happen when the arrival was
+                    # genuinely innovative (an independent vector never
+                    # cancels the stored combination), but re-code from the
+                    # buffer rather than ever transmitting a zero vector.
+                    self._start_precode()
         return innovative
 
     def _start_precode(self) -> None:
-        """Build a pre-coded packet from scratch over the current buffer."""
-        stored = self.buffer.stored_packets()
-        if not stored:
+        """Build a pre-coded packet from scratch over the current buffer.
+
+        One combination vector is drawn over the buffered rows (with the
+        shared all-zero re-draw guard) and applied as a single ``(1, r) @
+        (r, K)`` kernel product.  The buffered rows are linearly
+        independent, so any non-zero combination yields a non-zero code
+        vector.
+        """
+        if self.buffer.rank == 0:
             self._precoded_vector = None
             self._precoded_payload = None
             return
-        vector = np.zeros(self.buffer.batch_size, dtype=np.uint8)
-        payload = np.zeros(self.buffer.packet_size, dtype=np.uint8)
-        for packet in stored:
-            coefficient = int(self.rng.integers(1, 256))
-            scale_and_add(vector, packet.code_vector, coefficient)
-            scale_and_add(payload, packet.payload, coefficient)
-        self._precoded_vector = vector
-        self._precoded_payload = payload
+        coefficients = random_code_vector(self.buffer.rank, self.rng)
+        self._precoded_vector = gf_vecmat(coefficients,
+                                          self.buffer.coefficient_matrix())
+        self._precoded_payload = gf_vecmat(coefficients,
+                                           self.buffer.payload_matrix())
 
     def has_data(self) -> bool:
         """True if the forwarder has anything to transmit."""
@@ -123,11 +168,18 @@ class ForwarderEncoder:
             self._start_precode()
         if self._precoded_vector is None or self._precoded_payload is None:
             raise RuntimeError("forwarder has no buffered packets to code over")
+        # CodedPacket copies its arrays on construction; dropping our own
+        # references before re-coding makes the ownership transfer explicit —
+        # nothing the encoder does afterwards (add_packet folds, re-coding)
+        # can alias the packet now owned by the caller.
         packet = CodedPacket(
             code_vector=self._precoded_vector,
             payload=self._precoded_payload,
             batch_id=self.batch_id,
         )
+        assert packet.code_vector is not self._precoded_vector
+        self._precoded_vector = None
+        self._precoded_payload = None
         self.packets_generated += 1
         # As soon as the transmission starts, pre-code the next packet
         # (Section 3.3.3, sender side).

@@ -80,6 +80,25 @@ class CodedPacket:
         object.__setattr__(self, "code_vector", vector.copy())
         object.__setattr__(self, "payload", _as_payload(self.payload))
 
+    @classmethod
+    def from_owned(cls, code_vector: np.ndarray, payload: np.ndarray,
+                   batch_id: int = 0) -> "CodedPacket":
+        """Wrap freshly-created arrays without the defensive copy.
+
+        The caller transfers ownership: both arrays must be uint8, 1-D and
+        referenced by nothing that will mutate them afterwards.  Encoders
+        use this on the batched fast path where the arrays are slices of a
+        matrix allocated for this call alone; external callers should use
+        the normal constructor, which copies.
+        """
+        assert code_vector.dtype == np.uint8 and code_vector.ndim == 1
+        assert payload.dtype == np.uint8 and payload.ndim == 1
+        packet = object.__new__(cls)
+        object.__setattr__(packet, "code_vector", code_vector)
+        object.__setattr__(packet, "payload", payload)
+        object.__setattr__(packet, "batch_id", batch_id)
+        return packet
+
     @property
     def batch_size(self) -> int:
         """K, the length of the code vector."""

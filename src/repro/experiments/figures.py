@@ -329,7 +329,7 @@ def _relative_spread(values: list[float]) -> float:
 # --------------------------------------------------------------------------- #
 
 def table_4_1(batch_size: int = 32, packet_size: int = 1500, iterations: int = 50,
-              seed: int = 0) -> FigureResult:
+              seed: int = 0, rounds: int = 5) -> FigureResult:
     """Micro-benchmark of MORE's packet operations (paper Table 4.1).
 
     Paper numbers on a Celeron 800 MHz: independence check 10 us, coding at
@@ -337,28 +337,53 @@ def table_4_1(batch_size: int = 32, packet_size: int = 1500, iterations: int = 5
     values differ on modern hardware; the structural claims (coding and
     decoding cost are comparable and dominate, the independence check is an
     order of magnitude cheaper, cost scales with K) are checked instead.
+
+    Every quantity is measured ``rounds`` times and the best (minimum)
+    per-operation time is kept — the standard best-of-N discipline, so a
+    scheduler preemption or a busy sibling process inflates individual
+    rounds without distorting the reported figure.
     """
     rng = np.random.default_rng(seed)
     batch = make_batch(batch_size=batch_size, packet_size=packet_size, rng=rng)
     encoder = SourceEncoder(batch, rng)
 
-    start = time.perf_counter()
-    packets = [encoder.next_packet() for _ in range(iterations)]
-    coding_us = (time.perf_counter() - start) / iterations * 1e6
+    def best_of(measure) -> float:
+        """Minimum per-operation time (in us) over ``rounds`` measurements."""
+        return min(measure() for _ in range(max(1, rounds))) * 1e6
 
-    decoder = BatchDecoder(batch_size=batch_size, packet_size=packet_size)
-    extra = [encoder.next_packet() for _ in range(batch_size)]
-    start = time.perf_counter()
-    for packet in extra:
-        decoder.add_packet(packet)
-    decode_total = time.perf_counter() - start
-    decoding_us = decode_total / batch_size * 1e6
+    def measure_coding() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            encoder.next_packet()
+        return (time.perf_counter() - start) / iterations
 
+    coding_us = best_of(measure_coding)
+
+    def measure_decoding() -> float:
+        decoder = BatchDecoder(batch_size=batch_size, packet_size=packet_size)
+        packets = encoder.next_packets(batch_size)
+        start = time.perf_counter()
+        for packet in packets:
+            decoder.add_packet(packet)
+        return (time.perf_counter() - start) / batch_size
+
+    decoding_us = best_of(measure_decoding)
+
+    # The independence check is measured against a half-full buffer — the
+    # steady state a forwarder sees mid-batch — using probes that do reduce
+    # against stored rows.
     check_buffer = BatchBuffer(batch_size, packet_size, track_payloads=False)
-    start = time.perf_counter()
-    for packet in packets[:iterations]:
-        check_buffer.is_innovative(packet.code_vector)
-    independence_us = (time.perf_counter() - start) / min(iterations, len(packets)) * 1e6
+    for packet in encoder.next_packets(max(1, batch_size // 2)):
+        check_buffer.add(packet)
+    probes = [packet.code_vector for packet in encoder.next_packets(iterations)]
+
+    def measure_check() -> float:
+        start = time.perf_counter()
+        for probe in probes:
+            check_buffer.is_innovative(probe)
+        return (time.perf_counter() - start) / len(probes)
+
+    independence_us = best_of(measure_check)
 
     series = {
         "independence_check_us": [independence_us],

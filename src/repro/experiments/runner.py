@@ -59,6 +59,15 @@ class RunConfig:
     link-quality estimates fed to every protocol's control plane (see
     :mod:`repro.topology.estimation`); set the exponent to 1.0 and probes to
     0 for a perfectly informed control plane (the ablation case).
+
+    ``vector_only`` enables the payload-free fast path: delivery, rank
+    progression and throughput are fully determined by code vectors, so
+    runs that never assert payload bytes can skip all payload arithmetic
+    (MORE codes over zero-length payloads, superseding
+    ``coding_payload_size``; air time still uses ``packet_size``).  Results are bit-identical to a payload-carrying run
+    with the same seeds — empty RNG draws consume no generator state — just
+    faster.  Set it per scenario with the ``run.vector_only`` override or
+    ``repro run/sweep --vector-only``.
     """
 
     total_packets: int = 96
@@ -72,6 +81,7 @@ class RunConfig:
     more_metric: str = "etx"
     estimation_exponent: float = DEFAULT_OPTIMISM_EXPONENT
     estimation_probes: int = DEFAULT_PROBE_COUNT
+    vector_only: bool = False
 
     def control_view(self, topology: Topology) -> Topology:
         """The link-quality estimates the routing control plane works from."""
@@ -96,12 +106,16 @@ def _install_flow(sim: Simulator, topology: Topology, protocol: str, source: int
                   control_topology: Topology | None = None):
     """Install one flow of the requested protocol; returns its flow id."""
     if protocol == "MORE":
+        # vector_only supersedes the configured coding payload width (the
+        # whole point of the mode is a zero-byte payload).
+        coding_size = None if config.vector_only else config.coding_payload_size
         handle = setup_more_flow(
             sim, topology, source, destination,
             total_packets=config.total_packets,
             batch_size=config.batch_size,
             packet_size=config.packet_size,
-            coding_payload_size=config.coding_payload_size,
+            coding_payload_size=coding_size,
+            vector_only=config.vector_only,
             metric=config.more_metric,
             seed=flow_seed,
             control_topology=control_topology,

@@ -1,7 +1,9 @@
 """Finite-field GF(2^8) arithmetic used by MORE's network coding.
 
 The public surface re-exports the scalar helpers, the vector kernels used on
-packet payloads and the matrix routines used by the decoder.
+packet payloads, the vectorized batch-coding kernels (``gf_matmul`` and
+friends from :mod:`repro.gf.kernels`) and the matrix routines used by the
+decoder.
 """
 
 from repro.gf.arithmetic import (
@@ -10,6 +12,7 @@ from repro.gf.arithmetic import (
     inv,
     mul,
     power,
+    random_code_vector,
     random_coefficients,
     random_nonzero_coefficient,
     scale_and_add,
@@ -17,6 +20,14 @@ from repro.gf.arithmetic import (
     vec_add,
     vec_mul,
     vec_scale,
+)
+from repro.gf.kernels import (
+    ShiftedRows,
+    gf_matmul,
+    gf_outer,
+    gf_vecmat,
+    scale_and_add_rows,
+    scale_rows,
 )
 from repro.gf.matrix import (
     SingularMatrixError,
@@ -36,20 +47,27 @@ __all__ = [
     "LOG",
     "MUL",
     "MUL_TABLE_BYTES",
+    "ShiftedRows",
     "SingularMatrixError",
     "add",
     "div",
+    "gf_matmul",
+    "gf_outer",
+    "gf_vecmat",
     "inv",
     "invert",
     "is_invertible",
     "matmul",
     "mul",
     "power",
+    "random_code_vector",
     "random_coefficients",
     "random_nonzero_coefficient",
     "rank",
     "row_reduce",
     "scale_and_add",
+    "scale_and_add_rows",
+    "scale_rows",
     "solve",
     "sub",
     "vec_add",

@@ -118,3 +118,18 @@ def random_coefficients(count: int, rng: np.random.Generator) -> np.ndarray:
 def random_nonzero_coefficient(rng: np.random.Generator) -> int:
     """Draw a single non-zero random field element."""
     return int(rng.integers(1, FIELD_SIZE))
+
+
+def random_code_vector(count: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw a random code vector, re-drawing the degenerate all-zero one.
+
+    Individual zero coefficients are allowed (they are in random linear
+    network coding), but an all-zero vector would produce a packet that
+    carries no information, so it is re-drawn.  This is the single guard
+    shared by the source encoder (coefficients over native packets) and the
+    forwarder encoder (combination coefficients over buffered packets).
+    """
+    coefficients = random_coefficients(count, rng)
+    while not coefficients.any():
+        coefficients = random_coefficients(count, rng)
+    return coefficients

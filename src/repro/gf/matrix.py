@@ -138,20 +138,9 @@ def invert(matrix: np.ndarray) -> np.ndarray:
 def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Matrix product over GF(2^8).
 
-    Used by tests to verify ``invert`` and by the reference (slow) decoder.
+    Delegates to the vectorized :func:`repro.gf.kernels.gf_matmul`; kept
+    here so callers of the matrix API need not know about the kernel layer.
     """
-    left = np.asarray(a, dtype=np.uint8)
-    right = np.asarray(b, dtype=np.uint8)
-    if left.ndim != 2 or right.ndim != 2:
-        raise ValueError("matmul expects 2-D operands")
-    if left.shape[1] != right.shape[0]:
-        raise ValueError("inner dimensions do not match")
-    result = np.zeros((left.shape[0], right.shape[1]), dtype=np.uint8)
-    for k in range(left.shape[1]):
-        column = left[:, k]
-        row = right[k]
-        for i in range(left.shape[0]):
-            coefficient = int(column[i])
-            if coefficient:
-                scale_and_add(result[i], row, coefficient)
-    return result
+    from repro.gf.kernels import gf_matmul
+
+    return gf_matmul(a, b)

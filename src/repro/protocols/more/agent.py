@@ -50,7 +50,10 @@ class MoreFlowSpec:
         coding_payload_size: byte length actually carried through the coding
             pipeline; equals ``packet_size`` for full-fidelity runs and can
             be reduced to speed up large simulations without changing the
-            protocol behaviour (air time still uses ``packet_size``).
+            protocol behaviour (air time still uses ``packet_size``).  A
+            size of 0 is the vector-only fast path: every payload is the
+            empty vector, so coding, buffering and decoding touch code
+            vectors alone while delivery and throughput stay identical.
         forwarders: forwarder-list entries (intermediate nodes, closest to
             the destination first) with their TX credits.
         tx_credit: node id -> TX credit (Eq. 3.3).

@@ -89,7 +89,8 @@ def _synthetic_batches(total_packets: int, batch_size: int, payload_size: int,
 def setup_more_flow(sim: Simulator, topology: Topology, source: int, destination: int,
                     *, file_bytes: bytes | None = None, total_packets: int | None = None,
                     batch_size: int = 32, packet_size: int = 1500,
-                    coding_payload_size: int | None = None, metric: str = "etx",
+                    coding_payload_size: int | None = None,
+                    vector_only: bool = False, metric: str = "etx",
                     prune: bool = True, bitrate: int | None = None,
                     seed: int = 0, flow_id: int | None = None,
                     start_time: float = 0.0,
@@ -110,6 +111,12 @@ def setup_more_flow(sim: Simulator, topology: Topology, source: int, destination
         coding_payload_size: bytes pushed through the coding pipeline; use a
             small value to speed up big simulations (default: packet_size
             when a real file is given, 16 bytes otherwise).
+        vector_only: run the payload-free fast path — code over zero-length
+            payloads so all payload arithmetic disappears.  Delivery, rank
+            progression and throughput are unchanged (code vectors drive
+            them; empty payload draws consume no RNG state); only
+            ``decoded_payloads()`` becomes vacuous.  Incompatible with
+            ``file_bytes``, whose point is payload verification.
         metric: forwarder ordering metric, "etx" (deployed MORE) or "eotx".
         control_topology: the link qualities as the routing control plane
             believes them to be (ETX probe estimates); defaults to the true
@@ -125,6 +132,13 @@ def setup_more_flow(sim: Simulator, topology: Topology, source: int, destination
     """
     if (file_bytes is None) == (total_packets is None):
         raise ValueError("provide exactly one of file_bytes or total_packets")
+    if vector_only and file_bytes is not None:
+        raise ValueError("vector_only skips payload bytes; it cannot carry file_bytes")
+    if vector_only and coding_payload_size is not None:
+        raise ValueError(
+            "vector_only forces a zero-byte coding payload; do not also pass "
+            "coding_payload_size"
+        )
     if flow_id is None:
         flow_id = next(_flow_ids)
 
@@ -133,7 +147,10 @@ def setup_more_flow(sim: Simulator, topology: Topology, source: int, destination
         coding_size = coding_payload_size if coding_payload_size is not None else packet_size
         batches = split_file(file_bytes, batch_size=batch_size, packet_size=coding_size)
     else:
-        coding_size = coding_payload_size if coding_payload_size is not None else 16
+        if vector_only:
+            coding_size = 0
+        else:
+            coding_size = coding_payload_size if coding_payload_size is not None else 16
         assert total_packets is not None
         batches = _synthetic_batches(total_packets, batch_size, coding_size, rng)
     total = sum(batch.size for batch in batches)

@@ -1,0 +1,153 @@
+"""Tests for the vectorized GF(2^8) kernels against the scalar arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.arithmetic import add, mul, scale_and_add
+from repro.gf.kernels import (
+    ShiftedRows,
+    gf_matmul,
+    gf_outer,
+    gf_vecmat,
+    scale_and_add_rows,
+    scale_rows,
+)
+
+
+def reference_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Textbook triple loop over the scalar field helpers."""
+    n, k = a.shape
+    s = b.shape[1]
+    out = np.zeros((n, s), dtype=np.uint8)
+    for i in range(n):
+        for j in range(s):
+            acc = 0
+            for kk in range(k):
+                acc = add(acc, mul(int(a[i, kk]), int(b[kk, j])))
+            out[i, j] = acc
+    return out
+
+
+class TestGfMatmul:
+    def test_matches_reference_small(self, rng):
+        a = rng.integers(0, 256, (3, 5), dtype=np.uint8)
+        b = rng.integers(0, 256, (5, 7), dtype=np.uint8)
+        assert np.array_equal(gf_matmul(a, b), reference_matmul(a, b))
+
+    def test_matches_reference_large_uses_shifted_rows(self, rng):
+        # n >= 8 and s >= 8 routes through the shifted-row formulation.
+        a = rng.integers(0, 256, (16, 12), dtype=np.uint8)
+        b = rng.integers(0, 256, (12, 33), dtype=np.uint8)
+        assert np.array_equal(gf_matmul(a, b), reference_matmul(a, b))
+
+    def test_identity(self, rng):
+        b = rng.integers(0, 256, (6, 10), dtype=np.uint8)
+        identity = np.eye(6, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(identity, b), b)
+
+    @pytest.mark.parametrize("shape_a,shape_b", [
+        ((0, 4), (4, 5)), ((3, 0), (0, 5)), ((3, 4), (4, 0)),
+    ])
+    def test_empty_dimensions(self, shape_a, shape_b):
+        a = np.zeros(shape_a, dtype=np.uint8)
+        b = np.zeros(shape_b, dtype=np.uint8)
+        result = gf_matmul(a, b)
+        assert result.shape == (shape_a[0], shape_b[1])
+        assert not result.any()
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            gf_matmul(np.zeros((2, 3), dtype=np.uint8),
+                      np.zeros((4, 2), dtype=np.uint8))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            gf_matmul(np.zeros(3, dtype=np.uint8), np.zeros((3, 2), dtype=np.uint8))
+
+
+class TestShiftedRows:
+    def test_matches_gf_matmul(self, rng):
+        b = rng.integers(0, 256, (9, 100), dtype=np.uint8)
+        operand = ShiftedRows(b)
+        for rows in (1, 2, 8, 20):
+            a = rng.integers(0, 256, (rows, 9), dtype=np.uint8)
+            assert np.array_equal(operand.matmul(a), reference_matmul(a, b))
+
+    def test_reuse_after_matmul(self, rng):
+        """The cached stack survives (and is not corrupted by) repeated use."""
+        b = rng.integers(0, 256, (4, 17), dtype=np.uint8)
+        operand = ShiftedRows(b)
+        a = rng.integers(0, 256, (8, 4), dtype=np.uint8)
+        first = operand.matmul(a)
+        second = operand.matmul(a)
+        assert np.array_equal(first, second)
+
+    def test_zero_width_operand(self, rng):
+        operand = ShiftedRows(np.zeros((4, 0), dtype=np.uint8))
+        result = operand.matmul(rng.integers(0, 256, (3, 4), dtype=np.uint8))
+        assert result.shape == (3, 0)
+
+    def test_mismatched_inner_dimension_rejected(self, rng):
+        operand = ShiftedRows(rng.integers(0, 256, (4, 8), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            operand.matmul(np.zeros((2, 5), dtype=np.uint8))
+
+
+class TestVectorAndRowKernels:
+    def test_gf_vecmat_matches_matmul(self, rng):
+        v = rng.integers(0, 256, 6, dtype=np.uint8)
+        m = rng.integers(0, 256, (6, 11), dtype=np.uint8)
+        assert np.array_equal(gf_vecmat(v, m), reference_matmul(v[None, :], m)[0])
+
+    def test_gf_outer_matches_scalar(self, rng):
+        c = rng.integers(0, 256, 5, dtype=np.uint8)
+        r = rng.integers(0, 256, 9, dtype=np.uint8)
+        outer = gf_outer(c, r)
+        for i in range(5):
+            for j in range(9):
+                assert outer[i, j] == mul(int(c[i]), int(r[j]))
+
+    def test_scale_rows_matches_scale_and_add(self, rng):
+        m = rng.integers(0, 256, (4, 20), dtype=np.uint8)
+        factors = rng.integers(0, 256, 4, dtype=np.uint8)
+        scaled = scale_rows(m, factors)
+        for i in range(4):
+            expected = np.zeros(20, dtype=np.uint8)
+            scale_and_add(expected, m[i], int(factors[i]))
+            assert np.array_equal(scaled[i], expected)
+
+    def test_scale_and_add_rows_in_place(self, rng):
+        m = rng.integers(0, 256, (3, 15), dtype=np.uint8)
+        acc = rng.integers(0, 256, (3, 15), dtype=np.uint8)
+        factors = rng.integers(0, 256, 3, dtype=np.uint8)
+        expected = acc.copy()
+        for i in range(3):
+            scale_and_add(expected[i], m[i], int(factors[i]))
+        scale_and_add_rows(acc, m, factors)
+        assert np.array_equal(acc, expected)
+
+    def test_shape_mismatches_rejected(self, rng):
+        with pytest.raises(ValueError):
+            scale_rows(np.zeros((3, 4), dtype=np.uint8),
+                       np.zeros(2, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            scale_and_add_rows(np.zeros((2, 4), dtype=np.uint8),
+                               np.zeros((3, 4), dtype=np.uint8),
+                               np.zeros(3, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            gf_outer(np.zeros((2, 2), dtype=np.uint8), np.zeros(2, dtype=np.uint8))
+
+
+@given(st.integers(min_value=0, max_value=12), st.integers(min_value=0, max_value=10),
+       st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=40, deadline=None)
+def test_property_matmul_matches_reference(n, k, s, seed):
+    """gf_matmul equals the scalar triple loop for every shape, both code paths."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 256, (n, k), dtype=np.uint8)
+    b = rng.integers(0, 256, (k, s), dtype=np.uint8)
+    assert np.array_equal(gf_matmul(a, b), reference_matmul(a, b))
