@@ -5,7 +5,16 @@ PYTHON  ?= python
 WORKERS ?= 4
 ENV      = PYTHONPATH=src
 
-.PHONY: test bench bench-baseline docs-check figures examples clean
+.PHONY: check lint test bench bench-baseline docs-check figures examples clean
+
+# The pre-merge gate: lint plus the tier-1 suite.
+check: lint test
+
+# Style/correctness lint: `ruff check` when ruff is installed, a stdlib
+# fallback subset (syntax, line length, trailing whitespace, unused
+# imports) otherwise.  Configuration lives in pyproject.toml.
+lint:
+	$(ENV) $(PYTHON) scripts/lint.py
 
 # Tier-1 verification: the full suite (tests/ + benchmarks/), fail-fast.
 test:
@@ -16,9 +25,10 @@ test:
 bench:
 	$(ENV) $(PYTHON) -m pytest -q benchmarks $(PYTEST_ARGS)
 
-# Re-measure the coding-engine perf baseline and rewrite BENCH_coding.json
-# (kernel MB/s, packets/s per pipeline stage, wall-clock per protocol).
-# Not part of tier-1; run before/after perf work to quantify the change.
+# Re-measure the perf baseline and rewrite BENCH_coding.json (kernel MB/s,
+# packets/s per pipeline stage, medium frames/s vectorized-vs-scalar,
+# wall-clock per protocol).  Not part of tier-1; run before/after perf work
+# to quantify the change.
 bench-baseline:
 	$(ENV) $(PYTHON) scripts/bench_baseline.py
 

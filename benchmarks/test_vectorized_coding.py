@@ -63,17 +63,17 @@ def test_batched_encoding_bit_identical():
         assert np.array_equal(new.payload, old.payload)
 
 
+@pytest.mark.perf_strict
 def test_batched_encoding_speedup():
     """Batched encoding of 32 packets beats the old loop by at least 5x.
 
-    This is deliberately NOT behind ``--perf-strict``: unlike the absolute
-    timing-ratio thresholds (which compare two *different* operations whose
-    costs sit within a factor of five of each other), this compares the same
-    workload through two implementations, best-of-N and back-to-back, so
-    uniform machine load cancels out.  The measured margin is ~2x above the
-    asserted floor (speedup ~10x); 20 consecutive suite runs on a loaded
-    box never dipped below 8x.  If this ever flakes, the vectorized path
-    has genuinely regressed.
+    Best-of-N and back-to-back, so uniform machine load mostly cancels out
+    and the measured margin is ~2x above the asserted floor (speedup ~10x).
+    Still, it is a wall-clock ratio, and a sufficiently bursty box can
+    stretch one side more than the other — so like every other timing
+    threshold it lives behind ``--perf-strict`` and out of tier-1.
+    ``make bench-baseline`` records the same quantity in
+    ``BENCH_coding.json`` for regression tracking.
     """
     batch = make_batch(batch_size=K, packet_size=PACKET_SIZE,
                        rng=np.random.default_rng(0))

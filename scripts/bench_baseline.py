@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""bench-baseline: record the coding-engine performance floor.
+"""bench-baseline: record the coding-engine and medium performance floor.
 
 Runs the coding micro-benchmarks (GF(2^8) kernels, encoder/buffer/decoder
-packet rates, one small end-to-end transfer per protocol) and writes the
+packet rates, one small end-to-end transfer per protocol) plus the
+medium-resolution stage (frames/s through ``WirelessMedium.complete`` on a
+50-node mesh, vectorized vs the reference scalar loop) and writes the
 results to ``BENCH_coding.json`` at the repo root, so later PRs have a
 committed baseline to regress against:
 
@@ -36,10 +38,15 @@ from repro.experiments.runner import PROTOCOLS, RunConfig, run_single_flow  # no
 from repro.gf.arithmetic import scale_and_add            # noqa: E402
 from repro.gf.kernels import ShiftedRows, gf_matmul      # noqa: E402
 from repro.scenarios import build_topology, get_preset   # noqa: E402
+from repro.sim.medium import WirelessMedium              # noqa: E402
+from repro.sim.radio import ChannelConfig                # noqa: E402
+from repro.topology.generator import random_geometric    # noqa: E402
 
 K = 32
 PACKET_SIZE = 1500
 ROUNDS = 5
+MEDIUM_NODES = WirelessMedium.BENCH_NODE_COUNT
+MEDIUM_FRAMES = WirelessMedium.BENCH_FRAMES
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_coding.json"
 
 
@@ -111,6 +118,34 @@ def coding_benchmarks() -> dict[str, float]:
     }
 
 
+def medium_benchmarks() -> dict[str, float]:
+    """Frames per second through ``WirelessMedium.complete`` on a 50-node mesh.
+
+    Measures the vectorized reception-resolution path against the reference
+    scalar loop — same topology, same seed, back-to-back, and the exact
+    schedule (``WirelessMedium.pump_broadcast_frames``) the perf-strict
+    floor in ``benchmarks/test_vectorized_medium.py`` asserts on — so the
+    recorded ratio and the asserted floor measure the same quantity.
+    """
+    topology = random_geometric(node_count=MEDIUM_NODES,
+                                area=WirelessMedium.BENCH_AREA,
+                                seed=WirelessMedium.BENCH_TOPOLOGY_SEED)
+
+    elapsed = {}
+    for label, vectorized in (("vectorized", True), ("scalar", False)):
+        medium = WirelessMedium(
+            topology, ChannelConfig(),
+            np.random.default_rng(WirelessMedium.BENCH_RNG_SEED),
+            vectorized=vectorized)
+        elapsed[label] = best_of(
+            lambda: timed(lambda: medium.pump_broadcast_frames(MEDIUM_FRAMES)))
+    return {
+        "reception_vectorized_fps": MEDIUM_FRAMES / elapsed["vectorized"],
+        "reception_scalar_fps": MEDIUM_FRAMES / elapsed["scalar"],
+        "reception_speedup": elapsed["scalar"] / elapsed["vectorized"],
+    }
+
+
 def protocol_benchmarks() -> dict[str, dict[str, float]]:
     """Simulated packets per wall-clock second for one transfer per protocol."""
     topology = build_topology(get_preset("fig_4_2").topology)
@@ -145,8 +180,9 @@ def protocol_benchmarks() -> dict[str, dict[str, float]]:
 def main(argv: list[str]) -> int:
     output = Path(argv[0]) if argv else DEFAULT_OUTPUT
     report = {
-        "schema": "bench-coding/v1",
-        "config": {"batch_size": K, "packet_size": PACKET_SIZE, "rounds": ROUNDS},
+        "schema": "bench-baseline/v2",
+        "config": {"batch_size": K, "packet_size": PACKET_SIZE, "rounds": ROUNDS,
+                   "medium_nodes": MEDIUM_NODES, "medium_frames": MEDIUM_FRAMES},
         "machine": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -154,6 +190,7 @@ def main(argv: list[str]) -> int:
         },
         "kernels_mbps": kernel_benchmarks(),
         "coding_pps": coding_benchmarks(),
+        "medium_fps": medium_benchmarks(),
         "protocols": protocol_benchmarks(),
     }
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",

@@ -11,8 +11,10 @@
 ``run`` and ``sweep`` accept either ``--preset NAME`` (see
 :mod:`repro.scenarios.presets`) or ``--spec FILE`` (a ScenarioSpec as JSON,
 e.g. from ``show``).  ``--set path=value`` applies one dotted-path override
-(``run.batch_size=16``, ``workload.count=4``); ``--axis path=v1,v2,...``
-adds or replaces a sweep axis.  Results are cached as JSON under
+(``run.batch_size=16``, ``workload.count=4``, ``channel.mean_bad_time=0.05``);
+``--axis path=v1,v2,...`` adds or replaces a sweep axis (``channel.*`` axes
+sweep channel-model parameters).  ``--channel KIND`` swaps the channel model
+(``static``, ``gilbert_elliott``, ``distance_fading``, ``trace``).  Results are cached as JSON under
 ``results/<scenario>/`` keyed by a content hash of each cell, so repeated
 invocations only simulate what changed; ``--force`` recomputes.
 
@@ -63,6 +65,10 @@ def _load_spec(args: argparse.Namespace) -> ScenarioSpec:
     else:
         raise SystemExit("error: provide --preset NAME or --spec FILE "
                          "(see `python -m repro list`)")
+    # --channel first: switching kind resets channel params, so the user's
+    # --set channel.<param> overrides must land on the new model.
+    if getattr(args, "channel", None):
+        spec = spec.with_overrides({"channel.kind": args.channel})
     for assignment in args.set or []:
         path, value = _parse_assignment(assignment)
         spec = spec.with_overrides({path: _parse_value(value)})
@@ -92,6 +98,10 @@ def _add_spec_arguments(parser: argparse.ArgumentParser, sweep: bool) -> None:
     parser.add_argument("--vector-only", action="store_true", dest="vector_only",
                         help="payload-free fast path (run.vector_only=true): "
                              "identical throughput/rank results, less arithmetic")
+    parser.add_argument("--channel", metavar="KIND",
+                        help="channel model: static, gilbert_elliott, "
+                             "distance_fading or trace (tune parameters with "
+                             "--set channel.<param>=value)")
     parser.add_argument("--json", action="store_true",
                         help="print the full result as JSON instead of a report")
     if sweep:
@@ -189,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("--preset")
     show.add_argument("--spec")
     show.add_argument("--set", action="append", metavar="PATH=VALUE")
+    show.add_argument("--channel", metavar="KIND")
     show.set_defaults(func=_command_show, axis=None, seeds=None)
 
     run = commands.add_parser("run", help="run one scenario (serial by default)")

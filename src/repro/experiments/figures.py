@@ -121,7 +121,8 @@ def figure_4_3(topology: Topology | None = None, pair_count: int = 12, seed: int
     challenged_gains = [m / s for m, s in zip(more, srcr) if s <= srcr_median and s > 0]
     good_gains = [m / s for m, s in zip(more, srcr) if s > srcr_median]
     summary = {
-        "mean_gain_challenged": float(np.mean(challenged_gains)) if challenged_gains else float("nan"),
+        "mean_gain_challenged": (float(np.mean(challenged_gains))
+                                 if challenged_gains else float("nan")),
         "mean_gain_good": float(np.mean(good_gains)) if good_gains else float("nan"),
         "fraction_above_diagonal_more": float(np.mean([m > s for m, s in zip(more, srcr)])),
         "fraction_above_diagonal_exor": float(np.mean([e > s for e, s in zip(exor, srcr)])),
@@ -130,8 +131,10 @@ def figure_4_3(topology: Topology | None = None, pair_count: int = 12, seed: int
         "Figure 4-3: scatter of per-pair throughput vs Srcr\n"
         f"mean MORE/Srcr gain for challenged flows: {summary['mean_gain_challenged']:.2f}x\n"
         f"mean MORE/Srcr gain for good flows:       {summary['mean_gain_good']:.2f}x\n"
-        f"fraction of pairs above the diagonal (MORE): {summary['fraction_above_diagonal_more']:.2f}\n"
-        f"fraction of pairs above the diagonal (ExOR): {summary['fraction_above_diagonal_exor']:.2f}"
+        f"fraction of pairs above the diagonal (MORE): "
+        f"{summary['fraction_above_diagonal_more']:.2f}\n"
+        f"fraction of pairs above the diagonal (ExOR): "
+        f"{summary['fraction_above_diagonal_exor']:.2f}"
     )
     series = {"Srcr": srcr, "MORE": more, "ExOR": exor}
     return FigureResult(name="figure_4_3", series=series, summary=summary, report=report,
@@ -263,7 +266,8 @@ def figure_4_6(topology: Topology | None = None, pair_count: int = 8, seed: int 
     report = (
         "Figure 4-6: opportunistic routing vs Srcr with autorate (11 Mb/s, pkt/s)\n"
         + _format_protocol_table(series)
-        + f"\nMORE / Srcr-autorate median gain: {summary['more_over_srcr_autorate_median_gain']:.2f}x"
+        + "\nMORE / Srcr-autorate median gain: "
+        + f"{summary['more_over_srcr_autorate_median_gain']:.2f}x"
     )
     return FigureResult(name="figure_4_6", series=series, summary=summary, report=report,
                         extras={"pairs": pairs})
@@ -394,7 +398,8 @@ def table_4_1(batch_size: int = 32, packet_size: int = 1500, iterations: int = 5
         "independence_check_us": independence_us,
         "coding_at_source_us": coding_us,
         "decoding_us": decoding_us,
-        "coding_over_check_ratio": coding_us / independence_us if independence_us > 0 else float("inf"),
+        "coding_over_check_ratio": (coding_us / independence_us
+                                    if independence_us > 0 else float("inf")),
         "throughput_mbps_bound": packet_size * 8 / coding_us if coding_us > 0 else float("inf"),
     }
     report = (

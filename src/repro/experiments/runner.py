@@ -9,11 +9,13 @@ the paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 from repro.protocols.exor import setup_exor_flow
 from repro.protocols.more import setup_more_flow
 from repro.protocols.srcr import setup_srcr_flow
+from repro.sim.channels import ChannelSpec
 from repro.sim.radio import RATE_5_5MBPS, PhyConfig, SimConfig
 from repro.sim.simulator import Simulator
 from repro.topology.estimation import (
@@ -60,11 +62,18 @@ class RunConfig:
     :mod:`repro.topology.estimation`); set the exponent to 1.0 and probes to
     0 for a perfectly informed control plane (the ablation case).
 
+    ``channel`` selects the channel model the medium resolves receptions
+    against, as a :class:`~repro.sim.channels.ChannelSpec` dict
+    (``{"kind": ..., "params": {...}}``); ``None`` is the static Bernoulli
+    delivery matrix.  Scenario specs thread their ``channel`` section
+    through here (see :meth:`repro.scenarios.spec.ScenarioSpec.run_config`).
+
     ``vector_only`` enables the payload-free fast path: delivery, rank
     progression and throughput are fully determined by code vectors, so
     runs that never assert payload bytes can skip all payload arithmetic
     (MORE codes over zero-length payloads, superseding
-    ``coding_payload_size``; air time still uses ``packet_size``).  Results are bit-identical to a payload-carrying run
+    ``coding_payload_size``; air time still uses ``packet_size``).  Results
+    are bit-identical to a payload-carrying run
     with the same seeds — empty RNG draws consume no generator state — just
     faster.  Set it per scenario with the ``run.vector_only`` override or
     ``repro run/sweep --vector-only``.
@@ -82,6 +91,14 @@ class RunConfig:
     estimation_exponent: float = DEFAULT_OPTIMISM_EXPONENT
     estimation_probes: int = DEFAULT_PROBE_COUNT
     vector_only: bool = False
+    channel: dict[str, Any] | None = field(default=None)
+
+    def channel_spec(self) -> ChannelSpec | None:
+        """The channel-model spec for the simulator (``None`` = static)."""
+        if self.channel is None:
+            return None
+        spec = ChannelSpec.from_dict(self.channel)
+        return None if spec.is_static else spec
 
     def control_view(self, topology: Topology) -> Topology:
         """The link-quality estimates the routing control plane works from."""
@@ -97,7 +114,8 @@ class RunConfig:
 
 def _make_simulator(topology: Topology, config: RunConfig, bitrate: int | None = None) -> Simulator:
     phy = PhyConfig(bitrate=bitrate if bitrate is not None else config.bitrate)
-    sim_config = SimConfig(phy=phy, seed=config.seed, max_duration=config.max_duration)
+    sim_config = SimConfig(phy=phy, seed=config.seed, max_duration=config.max_duration,
+                           channel_model=config.channel_spec())
     return Simulator(topology, sim_config)
 
 

@@ -103,7 +103,8 @@ def candidate_forwarders(topology: Topology, source: int, destination: int,
         raise ValueError(f"source {source} cannot reach destination {destination}")
     members = [
         node for node in range(topology.node_count)
-        if node != source and not math.isinf(distances[node]) and distances[node] < distances[source]
+        if node != source and not math.isinf(distances[node])
+        and distances[node] < distances[source]
     ]
     members.sort(key=lambda n: (distances[n], n))
     members.append(source)

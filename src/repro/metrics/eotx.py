@@ -123,7 +123,8 @@ def eotx_bellman_ford(topology: Topology, destination: int,
                 continue
             updated[node] = recompute(node, d)
         if np.allclose(
-            np.nan_to_num(updated, posinf=1e18), np.nan_to_num(d, posinf=1e18), rtol=1e-12, atol=1e-12
+            np.nan_to_num(updated, posinf=1e18), np.nan_to_num(d, posinf=1e18),
+            rtol=1e-12, atol=1e-12
         ):
             d = updated
             break

@@ -410,7 +410,8 @@ class ExorAgent(ProtocolAgent):
         if isinstance(payload, ExorDataPayload):
             state = self.flows.get(payload.flow_id)
             scheduler = self.schedulers.get(payload.flow_id)
-            if state is not None and state.turn_queue and state.turn_queue[0] == payload.packet_index:
+            if state is not None and state.turn_queue \
+                    and state.turn_queue[0] == payload.packet_index:
                 state.turn_queue.popleft()
             if state is not None and not state.turn_queue and scheduler is not None \
                     and scheduler.holds_token(self.node_id):

@@ -20,7 +20,7 @@ acked batch (Section 3.3.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

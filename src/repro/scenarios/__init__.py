@@ -8,12 +8,15 @@ one (scenario, seed) cell.  Sweeps across worker processes live in
 """
 
 from repro.scenarios.build import (
+    CHANNEL_KINDS,
     TOPOLOGY_BUILDERS,
     WORKLOAD_KINDS,
+    build_channel,
     build_flow_sets,
     build_pairs,
     build_topology,
 )
+from repro.sim.channels import ChannelSpec
 from repro.scenarios.execute import CellResult, run_cell, run_cell_dict
 from repro.scenarios.presets import PRESETS, get_preset, list_presets, register
 from repro.scenarios.spec import (
@@ -26,7 +29,9 @@ from repro.scenarios.spec import (
 )
 
 __all__ = [
+    "CHANNEL_KINDS",
     "CellResult",
+    "ChannelSpec",
     "MIN_BATCHES_PER_TRANSFER",
     "MODES",
     "PRESETS",
@@ -36,6 +41,7 @@ __all__ = [
     "TopologySpec",
     "WORKLOAD_KINDS",
     "WorkloadSpec",
+    "build_channel",
     "build_flow_sets",
     "build_pairs",
     "build_topology",

@@ -1,10 +1,12 @@
-"""Materialise the declarative parts of a scenario: topology and workload.
+"""Materialise the declarative parts of a scenario: topology, workload, channel.
 
-Both builders are pure dispatch: a :class:`~repro.scenarios.spec.TopologySpec`
-names a generator from :mod:`repro.topology.generator` and a
+The builders are pure dispatch: a :class:`~repro.scenarios.spec.TopologySpec`
+names a generator from :mod:`repro.topology.generator`, a
 :class:`~repro.scenarios.spec.WorkloadSpec` names a pair selector from
-:mod:`repro.experiments.workloads`.  Everything is deterministic given the
-spec (and the cell seed, when the workload does not pin its own).
+:mod:`repro.experiments.workloads`, and a
+:class:`~repro.sim.channels.ChannelSpec` names a channel model from
+:mod:`repro.sim.channels`.  Everything is deterministic given the spec (and
+the cell seed, when the spec does not pin its own).
 """
 
 from __future__ import annotations
@@ -16,6 +18,12 @@ from repro.experiments.workloads import (
     multiflow_sets,
     random_pairs,
     spatial_reuse_pairs,
+)
+from repro.sim.channels import (
+    CHANNEL_MODELS,
+    ChannelModel,
+    ChannelSpec,
+    build_channel_model,
 )
 from repro.scenarios.spec import TopologySpec, WorkloadSpec
 from repro.topology.generator import (
@@ -44,6 +52,24 @@ TOPOLOGY_BUILDERS: dict[str, Callable[..., Topology]] = {
 
 #: Workload kinds addressable from a :class:`WorkloadSpec`.
 WORKLOAD_KINDS = ("random_pairs", "spatial_reuse", "challenged", "explicit", "multiflow")
+
+#: Channel-model kinds addressable from a scenario's ``channel`` section.
+CHANNEL_KINDS = tuple(sorted(CHANNEL_MODELS))
+
+
+def build_channel(spec: ChannelSpec, topology: Topology,
+                  default_seed: int = 0) -> ChannelModel:
+    """Instantiate (and bind) the channel model a spec describes.
+
+    ``default_seed`` (the cell seed) drives the model's private RNG stream
+    unless the channel params pin their own ``seed``.  The experiment
+    runner builds its model through :class:`~repro.sim.radio.SimConfig`;
+    this helper serves tests and ad-hoc studies that work with a bare
+    :class:`~repro.sim.medium.WirelessMedium`.
+    """
+    model = build_channel_model(spec, seed=default_seed)
+    model.bind(topology)
+    return model
 
 
 def build_topology(spec: TopologySpec) -> Topology:

@@ -14,6 +14,7 @@ from __future__ import annotations
 import copy
 
 from repro.scenarios.spec import ScenarioSpec, TopologySpec, WorkloadSpec
+from repro.sim.channels import ChannelSpec
 from repro.sim.radio import RATE_11MBPS
 
 #: The synthetic 20-node, 3-floor indoor testbed of every Chapter 4 figure
@@ -174,6 +175,75 @@ register(ScenarioSpec(
     topology=TopologySpec("grid", {"rows": 4, "cols": 4}),
     workload=WorkloadSpec("multiflow", {"flows_per_set": 3, "set_count": 2}),
     mode="multiflow",
+    run={"total_packets": 48},
+    seeds=(1,),
+    sweep={"workload.flow_count": (1, 2, 3)},
+))
+
+# --------------------------------------------------------------------------- #
+# Channel-model scenario families (see repro.sim.channels)
+# --------------------------------------------------------------------------- #
+
+register(ScenarioSpec(
+    name="bursty_chain",
+    description="Gilbert-Elliott bursty losses on a lossy 4-hop chain: how "
+                "opportunistic routing rides out loss bursts",
+    topology=TopologySpec("chain", {"hops": 4, "link_delivery": 0.75,
+                                    "skip_delivery": 0.2}),
+    workload=WorkloadSpec("explicit", {"pairs": [[0, 4]]}),
+    channel=ChannelSpec("gilbert_elliott", {"bad_scale": 0.2,
+                                            "mean_good_time": 0.5,
+                                            "mean_bad_time": 0.08}),
+    run={"total_packets": 64, "packet_size": 512, "coding_payload_size": 16},
+    seeds=(1,),
+))
+
+register(ScenarioSpec(
+    name="fading_grid",
+    description="Block-fading 4x4 grid: log-distance path loss + shadowing "
+                "redrawn every coherence interval over the grid coordinates",
+    topology=TopologySpec("grid", {"rows": 4, "cols": 4}),
+    workload=WorkloadSpec("random_pairs", {"count": 6, "min_hops": 2}),
+    channel=ChannelSpec("distance_fading", {"coherence_time": 0.5,
+                                            "shadowing_sigma_db": 5.0}),
+    run={"total_packets": 48},
+    seeds=(1,),
+))
+
+register(ScenarioSpec(
+    name="trace_random_geometric",
+    description="Trace-driven replay on the 16-node random-geometric mesh: "
+                "selected links walk a Roofnet-style delivery time series",
+    topology=TopologySpec("random_geometric", {"node_count": 16, "area": 120.0,
+                                               "seed": 2}),
+    workload=WorkloadSpec("random_pairs", {"count": 6}),
+    channel=ChannelSpec("trace", {
+        "interval": 0.5,
+        # A bimodal Roofnet-style series: long good stretches punctuated by
+        # deep fades, applied symmetrically to a handful of mid-mesh links.
+        "series": {
+            "0-4": [0.9, 0.85, 0.3, 0.1, 0.8, 0.9, 0.2, 0.7],
+            "4-0": [0.9, 0.85, 0.3, 0.1, 0.8, 0.9, 0.2, 0.7],
+            "3-7": [0.6, 0.1, 0.05, 0.6, 0.7, 0.1, 0.6, 0.65],
+            "7-3": [0.6, 0.1, 0.05, 0.6, 0.7, 0.1, 0.6, 0.65],
+            "5-9": [0.8, 0.8, 0.75, 0.2, 0.1, 0.8, 0.85, 0.3],
+            "9-5": [0.8, 0.8, 0.75, 0.2, 0.1, 0.8, 0.85, 0.3],
+        },
+    }),
+    run={"total_packets": 48},
+    seeds=(1,),
+))
+
+register(ScenarioSpec(
+    name="multiflow_bursty",
+    description="Concurrent flows under Gilbert-Elliott bursty loss on a 4x4 "
+                "grid (sweep workload.flow_count)",
+    topology=TopologySpec("grid", {"rows": 4, "cols": 4}),
+    workload=WorkloadSpec("multiflow", {"flows_per_set": 3, "set_count": 2}),
+    mode="multiflow",
+    channel=ChannelSpec("gilbert_elliott", {"bad_scale": 0.25,
+                                            "mean_good_time": 0.4,
+                                            "mean_bad_time": 0.1}),
     run={"total_packets": 48},
     seeds=(1,),
     sweep={"workload.flow_count": (1, 2, 3)},

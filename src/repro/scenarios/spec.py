@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, fields
 from typing import Any
 
 from repro.experiments.runner import PROTOCOLS, RunConfig
+from repro.sim.channels import CHANNEL_MODELS, ChannelSpec
 
 #: Execution modes understood by :func:`repro.scenarios.execute.run_cell`.
 MODES = ("throughput", "multiflow", "gap")
@@ -52,6 +53,20 @@ def _apply_dotted(spec: "ScenarioSpec", path: str, value: Any) -> None:
             target.kind = value
         else:
             target.params[rest] = value
+    elif head == "channel":
+        # `channel=gilbert_elliott` (a bare kind) and `channel.kind=...` both
+        # switch the model; `channel.<param>` sets one model parameter, so
+        # channel axes are sweepable like any other.  Switching to a
+        # *different* kind resets the params: the old model's knobs would be
+        # unknown keywords for the new one.
+        if not rest or rest == "kind":
+            if value not in CHANNEL_MODELS:
+                raise ValueError(f"unknown channel kind {value!r}; expected one "
+                                 f"of {sorted(CHANNEL_MODELS)}")
+            if value != spec.channel.kind:
+                spec.channel = ChannelSpec(kind=value)
+        else:
+            spec.channel.params[rest] = value
     elif head == "protocols" and not rest:
         # A bare string means one protocol, not a tuple of its characters.
         spec.protocols = (value,) if isinstance(value, str) else tuple(value)
@@ -60,7 +75,7 @@ def _apply_dotted(spec: "ScenarioSpec", path: str, value: Any) -> None:
     else:
         raise ValueError(
             f"unsupported override path {path!r}; expected run.*, topology.*, "
-            "workload.*, protocols or mode"
+            "workload.*, channel.*, protocols or mode"
         )
 
 
@@ -120,6 +135,10 @@ class ScenarioSpec:
         description: one-line human description (shown by ``repro list``).
         topology: the mesh to simulate on.
         workload: the flows to drive across it.
+        channel: the channel model the medium resolves receptions against
+            (:class:`~repro.sim.channels.ChannelSpec`); defaults to the
+            static Bernoulli delivery matrix.  The cell seed drives the
+            channel RNG stream unless ``channel.params.seed`` pins one.
         protocols: protocol tokens; plain names (``MORE``, ``ExOR``,
             ``Srcr``) or variants such as ``Srcr/auto`` (Srcr with Onoe-style
             autorate, the Figure 4-6 baseline).
@@ -140,6 +159,7 @@ class ScenarioSpec:
     description: str = ""
     protocols: tuple[str, ...] = PROTOCOLS
     mode: str = "throughput"
+    channel: ChannelSpec = field(default_factory=ChannelSpec)
     run: dict[str, Any] = field(default_factory=dict)
     seeds: tuple[int, ...] = (1,)
     sweep: dict[str, tuple] = field(default_factory=dict)
@@ -149,6 +169,11 @@ class ScenarioSpec:
             raise ValueError(f"unknown mode {self.mode!r}; expected one of {MODES}")
         if isinstance(self.protocols, str):
             self.protocols = (self.protocols,)
+        if isinstance(self.channel, dict):
+            self.channel = ChannelSpec.from_dict(self.channel)
+        if self.channel.kind not in CHANNEL_MODELS:
+            raise ValueError(f"unknown channel kind {self.channel.kind!r}; "
+                             f"expected one of {sorted(CHANNEL_MODELS)}")
         self.protocols = tuple(self.protocols)
         self.seeds = tuple(int(s) for s in self.seeds)
         self.sweep = {path: tuple(values) for path, values in self.sweep.items()}
@@ -163,6 +188,7 @@ class ScenarioSpec:
             "workload": self.workload.to_dict(),
             "protocols": list(self.protocols),
             "mode": self.mode,
+            "channel": self.channel.to_dict(),
             "run": dict(self.run),
             "seeds": list(self.seeds),
             "sweep": {path: list(values) for path, values in self.sweep.items()},
@@ -181,6 +207,7 @@ class ScenarioSpec:
             workload=WorkloadSpec.from_dict(data["workload"]),
             protocols=data.get("protocols", PROTOCOLS),  # __post_init__ normalises
             mode=data.get("mode", "throughput"),
+            channel=ChannelSpec.from_dict(data.get("channel", {"kind": "static"})),
             run=dict(data.get("run", {})),
             seeds=tuple(data.get("seeds", (1,))),
             sweep={path: tuple(vals) for path, vals in data.get("sweep", {}).items()},
@@ -217,6 +244,8 @@ class ScenarioSpec:
         values = dict(self.run)
         if seed is not None:
             values.setdefault("seed", int(seed))
+        if not self.channel.is_static:
+            values.setdefault("channel", self.channel.to_dict())
         config = RunConfig(**values)
         config.total_packets = max(config.total_packets,
                                    MIN_BATCHES_PER_TRANSFER * config.batch_size)

@@ -1,6 +1,16 @@
 """Discrete-event 802.11 wireless substrate (the paper's testbed stand-in)."""
 
 from repro.sim.autorate import OnoeRateController
+from repro.sim.channels import (
+    CHANNEL_MODELS,
+    ChannelModel,
+    ChannelSpec,
+    DistanceFading,
+    GilbertElliott,
+    StaticBernoulli,
+    TraceDriven,
+    build_channel_model,
+)
 from repro.sim.events import EventHandle, EventQueue
 from repro.sim.frames import BROADCAST, Frame, FrameKind
 from repro.sim.mac import CsmaMac, MacState
@@ -21,8 +31,16 @@ from repro.sim.trace import FlowRecord, StatsCollector
 
 __all__ = [
     "BROADCAST",
+    "CHANNEL_MODELS",
     "ChannelConfig",
+    "ChannelModel",
+    "ChannelSpec",
     "CsmaMac",
+    "DistanceFading",
+    "GilbertElliott",
+    "StaticBernoulli",
+    "TraceDriven",
+    "build_channel_model",
     "EventHandle",
     "EventQueue",
     "FlowRecord",

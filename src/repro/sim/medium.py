@@ -1,11 +1,13 @@
 """The shared broadcast medium: losses, collisions, capture, carrier sense.
 
-The medium owns the per-link delivery probabilities (from the
-:class:`~repro.topology.graph.Topology`) and decides, for every transmission,
-which nodes receive it.  The model:
+The medium decides, for every transmission, which nodes receive it.  Per-link
+delivery probabilities come from a pluggable :class:`~repro.sim.channels.ChannelModel`
+(static Bernoulli by default — the paper's model — or bursty / fading /
+trace-driven variants).  The model:
 
 * **Independent losses** — each potential receiver flips a coin with the
-  link delivery probability (the paper's model, Sections 3.2.1 and 5.3.1).
+  link delivery probability (the paper's model, Sections 3.2.1 and 5.3.1);
+  the probability itself may vary over time under non-static channel models.
 * **Half duplex** — a node that is transmitting during any part of a frame
   cannot receive it.
 * **Collisions** — if another transmission overlaps in time and the
@@ -18,6 +20,13 @@ which nodes receive it.  The model:
 * **Carrier sense** — a node senses the medium busy if any ongoing
   transmission is audible above the sense threshold; this is what enables
   spatial reuse (distant transmitters do not block each other).
+
+Reception resolution is vectorized: one batched RNG draw over the eligible
+receivers (in node order, so the stream is bit-identical to the original
+per-node loop), a single delivery-row gather from the channel model, and a
+vectorized interference mask.  Only frames where a *capture* draw could
+occur fall back to the scalar loop, because capture draws interleave with
+delivery draws in the RNG stream.
 """
 
 from __future__ import annotations
@@ -26,7 +35,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.sim.frames import Frame
+from repro.sim.channels import ChannelModel, StaticBernoulli
+from repro.sim.frames import BROADCAST, Frame, FrameKind
 from repro.sim.radio import ChannelConfig
 from repro.topology.graph import Topology
 
@@ -51,14 +61,23 @@ class WirelessMedium:
     """Shared-channel model deciding receptions, collisions and carrier sense."""
 
     def __init__(self, topology: Topology, channel: ChannelConfig,
-                 rng: np.random.Generator) -> None:
+                 rng: np.random.Generator, model: ChannelModel | None = None,
+                 vectorized: bool = True) -> None:
         self.topology = topology
         self.channel = channel
         self.rng = rng
-        self._delivery = topology.delivery_matrix()
+        self.model = model if model is not None else StaticBernoulli()
+        self.model.bind(topology)
+        # Long-run average deliveries: carrier-sense audibility and
+        # interference levels track mean signal energy, not the
+        # instantaneous fade (for the static model this IS the topology
+        # matrix, preserving the original behaviour bit for bit).
+        self._delivery = self.model.mean_matrix()
         self._sense = self._build_sense_matrix(self._delivery, channel)
         self._active: list[Transmission] = []
         self._history: list[Transmission] = []
+        self.vectorized = vectorized
+        self._max_airtime = 0.0
         # Statistics.
         self.transmissions = 0
         self.receptions = 0
@@ -134,6 +153,7 @@ class WirelessMedium:
         transmission = Transmission(frame=frame, start=now, end=now + airtime, bitrate=bitrate)
         self._active.append(transmission)
         self.transmissions += 1
+        self._max_airtime = max(self._max_airtime, airtime)
         return transmission
 
     def complete(self, transmission: Transmission, now: float) -> list[int]:
@@ -148,11 +168,71 @@ class WirelessMedium:
             other for other in self._active + self._history
             if other is not transmission and other.overlaps(transmission)
         ]
+        probabilities = self.model.delivery_row(sender, transmission.start,
+                                                transmission.end)
+        receivers = None
+        if self.vectorized:
+            receivers = self._resolve_vectorized(sender, probabilities, overlapping)
+        if receivers is None:
+            receivers = self._resolve_scalar(sender, probabilities, overlapping)
+        transmission.receivers = receivers
+        if transmission in self._active:
+            self._active.remove(transmission)
+        self._history.append(transmission)
+        self._prune_history(now)
+        return receivers
+
+    def _resolve_vectorized(self, sender: int, probabilities: np.ndarray,
+                            overlapping: list[Transmission]) -> list[int] | None:
+        """One-pass reception resolution: batched draws, vectorized masks.
+
+        Consumes exactly one RNG draw per eligible receiver in node order —
+        the same stream as :meth:`_resolve_scalar` — so results are
+        bit-identical.  Returns ``None`` when a capture draw could interleave
+        with the delivery draws (the only case the batched stream cannot
+        reproduce); the caller then takes the scalar path.
+        """
+        eligible = probabilities > 0.0
+        eligible[sender] = False
+        if overlapping:
+            # Half duplex: nodes with a frame of their own on the air
+            # (including the sender's other frames) cannot decode this one.
+            senders = np.array([other.frame.sender for other in overlapping],
+                               dtype=np.intp)
+            eligible[senders] = False
+            interferers = senders[senders != sender]
+            if interferers.size:
+                # levels[m, node]: how audible interferer m is at each node.
+                levels = self._delivery[interferers]
+                audible = levels > self.channel.interference_threshold
+                capture_possible = audible & (probabilities[None, :] - levels
+                                              >= self.channel.capture_margin)
+                if bool((capture_possible.any(axis=0) & eligible).any()):
+                    return None  # capture draws would interleave: scalar path
+                corrupted = audible.any(axis=0)
+                indices = np.nonzero(eligible)[0]
+                draws = self.rng.random(indices.size)
+                delivered = draws < probabilities[indices]
+                survived = delivered & ~corrupted[indices]
+                self.collisions += int(delivered.sum()) - int(survived.sum())
+                receivers = indices[survived].tolist()
+                self.receptions += len(receivers)
+                return receivers
+        # Interference-free fast path (the overwhelmingly common case).
+        indices = np.nonzero(eligible)[0]
+        draws = self.rng.random(indices.size)
+        receivers = indices[draws < probabilities[indices]].tolist()
+        self.receptions += len(receivers)
+        return receivers
+
+    def _resolve_scalar(self, sender: int, probabilities: np.ndarray,
+                        overlapping: list[Transmission]) -> list[int]:
+        """The reference per-node loop (also the capture-draw fallback)."""
         receivers: list[int] = []
         for node in range(self.topology.node_count):
             if node == sender:
                 continue
-            probability = self._delivery[sender, node]
+            probability = float(probabilities[node])
             if probability <= 0.0:
                 continue
             # Half duplex: a node transmitting during the frame cannot decode it.
@@ -166,11 +246,6 @@ class WirelessMedium:
                 continue
             receivers.append(node)
             self.receptions += 1
-        transmission.receivers = receivers
-        if transmission in self._active:
-            self._active.remove(transmission)
-        self._history.append(transmission)
-        self._prune_history(now)
         return receivers
 
     def _corrupted_by_interference(self, node: int, wanted_probability: float,
@@ -207,6 +282,51 @@ class WirelessMedium:
                 still_active.append(transmission)
         self._active = still_active
 
-    def _prune_history(self, now: float, horizon: float = 0.1) -> None:
-        """Forget completed transmissions older than ``horizon`` seconds."""
-        self._history = [t for t in self._history if t.end >= now - horizon]
+    #: Canonical reception-resolution benchmark workload, shared by
+    #: ``benchmarks/test_vectorized_medium.py`` (the ≥ 3× perf-strict floor)
+    #: and ``scripts/bench_baseline.py`` (the committed frames/s baseline) so
+    #: both measure the same quantity: a ``random_geometric(node_count=
+    #: BENCH_NODE_COUNT, area=BENCH_AREA, seed=BENCH_TOPOLOGY_SEED)`` mesh,
+    #: medium RNG seed ``BENCH_RNG_SEED``, ``BENCH_FRAMES`` pumped frames.
+    BENCH_NODE_COUNT = 50
+    BENCH_AREA = 220.0
+    BENCH_TOPOLOGY_SEED = 1
+    BENCH_RNG_SEED = 3
+    BENCH_FRAMES = 400
+
+    def pump_broadcast_frames(self, frames: int = 400, airtime: float = 0.002,
+                              spacing: float = 0.003,
+                              size_bytes: int = 1500) -> list[list[int]]:
+        """Drive ``frames`` back-to-back broadcasts from a rotating sender.
+
+        The canonical reception-resolution measurement/differential harness:
+        ``make bench-baseline`` and ``benchmarks/test_vectorized_medium.py``
+        both time exactly this schedule, so the committed frames/s baseline
+        and the asserted speedup floor measure the same quantity.  Returns
+        one receiver list per frame (for equivalence checks).
+        """
+        outcomes = []
+        clock = 0.0
+        node_count = self.topology.node_count
+        for index in range(frames):
+            frame = Frame(sender=index % node_count, receiver=BROADCAST,
+                          kind=FrameKind.DATA, flow_id=1, size_bytes=size_bytes)
+            transmission = self.begin(frame, now=clock, airtime=airtime,
+                                      bitrate=5_500_000)
+            outcomes.append(self.complete(transmission, now=clock + airtime))
+            clock += spacing
+        return outcomes
+
+    def _prune_history(self, now: float) -> None:
+        """Forget completed transmissions that can no longer interfere.
+
+        Any transmission still able to complete started no earlier than
+        ``now - max_airtime``, so a history entry whose end precedes that
+        can never overlap one: the horizon tracks the longest observed
+        airtime (plus the configured floor) instead of the old hard-coded
+        0.1 s, which both keeps the overlap scan short for ordinary frames
+        and stops long frames at low bitrates from outliving the window.
+        """
+        horizon = max(self.channel.history_horizon, self._max_airtime)
+        cutoff = now - horizon
+        self._history = [t for t in self._history if t.end >= cutoff]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.sim.channels import ChannelSpec
+
 #: 802.11b data rates in bits per second.
 RATE_1MBPS = 1_000_000
 RATE_2MBPS = 2_000_000
@@ -92,6 +94,13 @@ class ChannelConfig:
             save the reception (Section 4.2.3 discusses capture).
         capture_probability: probability that capture succeeds when the
             margin condition holds.
+        history_horizon: floor (seconds) on how long a completed
+            transmission stays in the medium's interference history.  The
+            effective horizon is ``max(history_horizon, longest observed
+            airtime)``, so long frames at low bitrates never outlive the
+            window; entries older than one maximum airtime provably cannot
+            overlap any transmission that can still complete, hence the
+            default floor of 0.
     """
 
     sense_threshold: float = 0.10
@@ -99,14 +108,28 @@ class ChannelConfig:
     interference_threshold: float = 0.10
     capture_margin: float = 0.35
     capture_probability: float = 0.7
+    history_horizon: float = 0.0
 
 
 @dataclass
 class SimConfig:
-    """Top-level simulator configuration."""
+    """Top-level simulator configuration.
+
+    ``channel_model`` selects the channel model feeding the medium's
+    per-frame delivery probabilities (see :mod:`repro.sim.channels`);
+    ``None`` is the static Bernoulli matrix — the paper's model and the
+    pre-refactor behaviour, bit for bit.  ``vectorized_medium`` exists for
+    differential testing of the batched reception path against the
+    reference per-node loop.
+    """
 
     phy: PhyConfig = field(default_factory=PhyConfig)
     channel: ChannelConfig = field(default_factory=ChannelConfig)
     seed: int = 0
     #: Maximum simulated seconds for a single flow transfer before giving up.
     max_duration: float = 300.0
+    #: Channel-model spec (``None`` = static Bernoulli delivery matrix).
+    channel_model: ChannelSpec | None = None
+    #: Resolve receptions with the vectorized fast path (scalar reference
+    #: loop when False; results are bit-identical either way).
+    vectorized_medium: bool = True

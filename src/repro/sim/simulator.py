@@ -6,6 +6,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.sim.channels import build_channel_model
 from repro.sim.events import EventHandle, EventQueue
 from repro.sim.frames import Frame
 from repro.sim.medium import WirelessMedium
@@ -30,7 +31,13 @@ class Simulator:
         self.config = config if config is not None else SimConfig()
         self.events = EventQueue()
         self.rng = np.random.default_rng(self.config.seed)
-        self.medium = WirelessMedium(topology, self.config.channel, self.rng)
+        # The channel model draws from its own seed-derived stream, so a
+        # static-channel simulation consumes the main RNG exactly as before.
+        model = build_channel_model(self.config.channel_model,
+                                    seed=self.config.seed)
+        self.medium = WirelessMedium(topology, self.config.channel, self.rng,
+                                     model=model,
+                                     vectorized=self.config.vectorized_medium)
         self.nodes = [SimNode(i, self) for i in range(topology.node_count)]
         self.stats = StatsCollector()
 

@@ -39,6 +39,39 @@ _MAX_DELIVERY = 0.90
 #: Upper bound of the per-link ambient-interference loss, applied
 #: multiplicatively on top of the path-loss model.
 _AMBIENT_LOSS_MAX = 0.15
+#: Delivery probabilities below this are treated as "no link".
+_MIN_DELIVERY = 0.05
+
+
+def path_loss_margin_db(distance, reference_distance: float = _REFERENCE_DISTANCE,
+                        path_loss_exponent: float = _PATH_LOSS_EXPONENT,
+                        snr_at_reference_db: float = _SNR_AT_REFERENCE_DB):
+    """SNR margin (dB) at ``distance`` under the log-distance model.
+
+    Accepts scalars or arrays.  This is the one propagation formula shared
+    by the static generators here and the time-varying
+    :class:`repro.sim.channels.DistanceFading` channel model, so a fading
+    channel over a generated mesh is consistent with its nominal matrix.
+    """
+    ratio = np.maximum(distance, 0.1) / reference_distance
+    return snr_at_reference_db - 10.0 * path_loss_exponent * np.log10(ratio)
+
+
+def margin_to_delivery(margin_db, logistic_scale: float = _DELIVERY_LOGISTIC_SCALE,
+                       max_delivery: float = _MAX_DELIVERY,
+                       min_delivery: float = _MIN_DELIVERY,
+                       ambient_factor=1.0):
+    """Map an SNR margin to a frame delivery probability (scalar or array).
+
+    Logistic curve, multiplied by any ambient-loss factor, capped at
+    ``max_delivery``, with sub-``min_delivery`` links cut to zero — the
+    shared tail end of the propagation model above.
+    """
+    probability = 1.0 / (1.0 + np.exp(-np.asarray(margin_db, dtype=float)
+                                      / logistic_scale))
+    probability = probability * ambient_factor
+    probability = np.minimum(probability, max_delivery)
+    return np.where(probability < min_delivery, 0.0, probability)
 
 
 def _distance_to_delivery(distance: float, floors_crossed: int,
@@ -52,14 +85,11 @@ def _distance_to_delivery(distance: float, floors_crossed: int,
     """
     if distance <= 0:
         return 1.0
-    path_loss_db = 10.0 * _PATH_LOSS_EXPONENT * np.log10(max(distance, 0.1) / _REFERENCE_DISTANCE)
     shadowing_db = rng.normal(0.0, _SHADOWING_SIGMA_DB)
-    margin_db = _SNR_AT_REFERENCE_DB - path_loss_db - _FLOOR_PENALTY_DB * floors_crossed + shadowing_db
-    probability = 1.0 / (1.0 + np.exp(-margin_db / _DELIVERY_LOGISTIC_SCALE))
-    probability *= 1.0 - rng.uniform(0.0, _AMBIENT_LOSS_MAX)
-    probability = min(probability, _MAX_DELIVERY)
-    if probability < 0.05:
-        return 0.0
+    margin_db = (path_loss_margin_db(distance)
+                 - _FLOOR_PENALTY_DB * floors_crossed + shadowing_db)
+    probability = margin_to_delivery(
+        margin_db, ambient_factor=1.0 - rng.uniform(0.0, _AMBIENT_LOSS_MAX))
     return float(probability)
 
 

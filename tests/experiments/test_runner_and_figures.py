@@ -7,7 +7,6 @@ full-scale versions.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments.figures import figure_5_1, table_4_1
@@ -99,11 +98,14 @@ class TestFigureHarnesses:
     def test_table_4_1_structure(self):
         result = table_4_1(batch_size=16, packet_size=512, iterations=10)
         summary = result.summary
-        assert summary["coding_at_source_us"] > 0
-        assert summary["decoding_us"] > 0
-        # Structural claims of Table 4.1: the independence check is much
-        # cheaper than coding/decoding.
-        assert summary["independence_check_us"] < summary["coding_at_source_us"]
+        # Only load-insensitive facts here: the cross-operation timing-ratio
+        # claims (independence check cheaper than coding/decoding) live in
+        # benchmarks/test_table_4_1_coding_cost.py behind --perf-strict,
+        # because a load burst during one micro-measurement can invert any
+        # ratio between two different workloads and flake tier-1.
+        for name in ("independence_check_us", "coding_at_source_us",
+                     "decoding_us"):
+            assert summary[name] > 0
         assert "Table 4.1" in result.report
 
     def test_figure_5_1_gap_series(self):

@@ -18,7 +18,7 @@ from repro.metrics.credits import (
 )
 from repro.metrics.eotx import eotx_dijkstra
 from repro.metrics.etx import etx_to_destination
-from repro.topology.generator import chain, diamond, random_mesh, two_hop_relay
+from repro.topology.generator import chain, random_mesh, two_hop_relay
 
 
 def naive_algorithm_1(topology, order):

@@ -16,7 +16,7 @@ from repro.metrics.eotx import (
     eotx_recursive,
 )
 from repro.metrics.etx import etx_to_destination
-from repro.topology.generator import chain, diamond, random_mesh, two_hop_relay
+from repro.topology.generator import chain, diamond, random_mesh
 from repro.topology.graph import Topology
 
 

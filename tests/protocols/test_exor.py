@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.protocols.exor import ExorAgent, setup_exor_flow
 from repro.protocols.exor.agent import ExorDataPayload

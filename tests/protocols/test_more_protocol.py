@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.protocols.more import MoreAgent, setup_more_flow
+from repro.protocols.more import setup_more_flow
 from repro.sim.radio import SimConfig
 from repro.sim.simulator import Simulator
 from repro.topology.generator import chain, diamond, two_hop_relay

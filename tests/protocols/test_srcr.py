@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.metrics.etx import best_path
 from repro.protocols.srcr import SrcrAgent, SrcrFlowSpec, setup_srcr_flow

@@ -8,7 +8,7 @@ import pytest
 from repro.protocols.base import ProtocolAgent
 from repro.sim.frames import BROADCAST, Frame, FrameKind
 from repro.sim.mac import MacState
-from repro.sim.radio import PhyConfig, SimConfig
+from repro.sim.radio import SimConfig
 from repro.sim.simulator import Simulator
 from repro.sim.trace import FlowRecord, StatsCollector
 from repro.topology.graph import Topology

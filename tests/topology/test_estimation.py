@@ -9,7 +9,7 @@ from repro.topology.estimation import (
     perfect_estimates,
     probe_estimated_topology,
 )
-from repro.topology.generator import indoor_testbed, two_hop_relay
+from repro.topology.generator import two_hop_relay
 
 
 class TestProbeEstimates:
