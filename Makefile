@@ -5,10 +5,12 @@ PYTHON  ?= python
 WORKERS ?= 4
 ENV      = PYTHONPATH=src
 
-.PHONY: check lint test bench bench-baseline docs-check figures examples clean
+.PHONY: check lint test test-engine bench bench-baseline profile docs-check \
+        figures examples clean
 
-# The pre-merge gate: lint plus the tier-1 suite.
-check: lint test
+# The pre-merge gate: lint, the engine differential tests (fail fast on a
+# hot-path regression), then the full tier-1 suite.
+check: lint test-engine test
 
 # Style/correctness lint: `ruff check` when ruff is installed, a stdlib
 # fallback subset (syntax, line length, trailing whitespace, unused
@@ -19,6 +21,12 @@ lint:
 # Tier-1 verification: the full suite (tests/ + benchmarks/), fail-fast.
 test:
 	$(ENV) $(PYTHON) -m pytest -x -q
+
+# The engine hot-path gate alone: scheduler unit/property tests plus the
+# fast-vs-legacy full-run differential (bit-identical traces).
+test-engine:
+	$(ENV) $(PYTHON) -m pytest -x -q tests/sim/test_events.py \
+		tests/sim/test_engine_differential.py
 
 # The paper-evaluation benchmarks only (add PYTEST_ARGS=--paper-scale for
 # the full 5 MB transfers).
@@ -32,9 +40,15 @@ bench:
 bench-baseline:
 	$(ENV) $(PYTHON) scripts/bench_baseline.py
 
+# cProfile one preset flow and print the hot spots (PROFILE_ARGS passes
+# --preset/--protocol/--engine/--top through to scripts/profile_run.py).
+profile:
+	$(ENV) $(PYTHON) scripts/profile_run.py $(PROFILE_ARGS)
+
 # Every repro.* name referenced in README.md and docs/ must resolve.
 docs-check:
-	$(ENV) $(PYTHON) scripts/docs_check.py README.md docs/paper-map.md docs/scenarios.md
+	$(ENV) $(PYTHON) scripts/docs_check.py README.md docs/paper-map.md \
+		docs/scenarios.md docs/performance.md
 
 # Run (and cache under results/) every paper-figure scenario preset.
 figures:

@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""bench-baseline: record the coding-engine and medium performance floor.
+"""bench-baseline: record the engine, coding and medium performance floor.
 
 Runs the coding micro-benchmarks (GF(2^8) kernels, encoder/buffer/decoder
-packet rates, one small end-to-end transfer per protocol) plus the
+packet rates, one small end-to-end transfer per protocol), the
 medium-resolution stage (frames/s through ``WirelessMedium.complete`` on a
-50-node mesh, vectorized vs the reference scalar loop) and writes the
-results to ``BENCH_coding.json`` at the repo root, so later PRs have a
-committed baseline to regress against:
+50-node mesh, vectorized vs the reference scalar loop) and the
+event-engine stage (events/s through the scheduler, fast vs legacy queue;
+end-to-end MORE wall-clock fast vs legacy engine; the ``large_mesh_200``
+scale preset) and writes the results to ``BENCH_coding.json`` at the repo
+root, so later PRs have a committed baseline to regress against:
 
     make bench-baseline                 # or
     PYTHONPATH=src python scripts/bench_baseline.py [output.json]
+
+Schema ``bench-baseline/v3`` adds the ``engine`` section (``engine_eps``,
+``engine_eps_legacy``, ``engine_speedup``, ``more_end_to_end_speedup``,
+``large_mesh_200_wall_seconds``) and a ``sim_fps`` field (data frames on
+the air per wall-clock second) for every protocol entry — see
+docs/performance.md for how to read the file.
 
 Every quantity is measured best-of-N (minimum over rounds), the same
 discipline as :func:`repro.experiments.figures.table_4_1`: transient
@@ -24,6 +32,7 @@ import json
 import platform
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
@@ -38,6 +47,12 @@ from repro.experiments.runner import PROTOCOLS, RunConfig, run_single_flow  # no
 from repro.gf.arithmetic import scale_and_add            # noqa: E402
 from repro.gf.kernels import ShiftedRows, gf_matmul      # noqa: E402
 from repro.scenarios import build_topology, get_preset   # noqa: E402
+from repro.sim.events import (                           # noqa: E402
+    BENCH_EVENTS,
+    EventQueue,
+    LegacyEventQueue,
+    pump_timer_workload,
+)
 from repro.sim.medium import WirelessMedium              # noqa: E402
 from repro.sim.radio import ChannelConfig                # noqa: E402
 from repro.topology.generator import random_geometric    # noqa: E402
@@ -146,6 +161,48 @@ def medium_benchmarks() -> dict[str, float]:
     }
 
 
+def engine_benchmarks() -> dict[str, float]:
+    """Events per second through the scheduler, fast vs legacy queue.
+
+    Same workload (``repro.sim.events.pump_timer_workload``) as the
+    perf-strict floor in ``benchmarks/test_engine_hot_path.py``, so the
+    committed events/s figure and the asserted speedup measure the same
+    quantity.
+    """
+    def run_queue(factory) -> float:
+        def once() -> float:
+            queue = factory()
+            return timed(lambda: pump_timer_workload(queue))
+        return best_of(once)
+
+    fast_s = run_queue(EventQueue)
+    legacy_s = run_queue(LegacyEventQueue)
+    return {
+        "engine_eps": BENCH_EVENTS / fast_s,
+        "engine_eps_legacy": BENCH_EVENTS / legacy_s,
+        "engine_speedup": legacy_s / fast_s,
+    }
+
+
+def _measure_flow(topology, protocol: str, source: int, destination: int,
+                  config: RunConfig, rounds: int = ROUNDS) -> dict[str, float]:
+    """Best-of wall clock plus throughput rates for one flow."""
+    result = None
+
+    def run() -> None:
+        nonlocal result
+        result = run_single_flow(topology, protocol, source, destination,
+                                 config=config)
+
+    elapsed = best_of(lambda: timed(run), rounds=rounds)
+    return {
+        "wall_seconds": elapsed,
+        "simulated_pps_per_wall_second": config.total_packets / elapsed,
+        # Frames on the air per wall second: the end-to-end engine rate.
+        "sim_fps": result.data_transmissions / elapsed,
+    }
+
+
 def protocol_benchmarks() -> dict[str, dict[str, float]]:
     """Simulated packets per wall-clock second for one transfer per protocol."""
     topology = build_topology(get_preset("fig_4_2").topology)
@@ -153,36 +210,51 @@ def protocol_benchmarks() -> dict[str, dict[str, float]]:
     for protocol in PROTOCOLS:
         config = RunConfig(total_packets=96, batch_size=K, packet_size=PACKET_SIZE,
                            seed=2)
-
-        def run() -> None:
-            run_single_flow(topology, protocol, 17, 2, config=config)
-
-        elapsed = best_of(lambda: timed(run), rounds=3)
-        results[protocol] = {
-            "wall_seconds": elapsed,
-            "simulated_pps_per_wall_second": config.total_packets / elapsed,
-        }
+        results[protocol] = _measure_flow(topology, protocol, 17, 2, config)
     # The payload-free mode on the same MORE transfer, for the speedup ratio.
     vector_config = RunConfig(total_packets=96, batch_size=K,
                               packet_size=PACKET_SIZE, seed=2, vector_only=True)
-
-    def run_vector() -> None:
-        run_single_flow(topology, "MORE", 17, 2, config=vector_config)
-
-    elapsed = best_of(lambda: timed(run_vector), rounds=3)
-    results["MORE/vector-only"] = {
-        "wall_seconds": elapsed,
-        "simulated_pps_per_wall_second": vector_config.total_packets / elapsed,
-    }
+    results["MORE/vector-only"] = _measure_flow(topology, "MORE", 17, 2,
+                                                vector_config)
+    # The legacy (pre-refactor) engine on the same MORE transfer: the
+    # committed end-to-end measurement of the engine overhaul.
+    legacy_config = RunConfig(total_packets=96, batch_size=K,
+                              packet_size=PACKET_SIZE, seed=2, engine="legacy")
+    results["MORE/legacy-engine"] = _measure_flow(topology, "MORE", 17, 2,
+                                                  legacy_config)
     return results
+
+
+def scale_benchmarks() -> dict[str, float]:
+    """The ``large_mesh_200`` scale preset: one MORE flow on 200 nodes."""
+    spec = get_preset("large_mesh_200")
+    topology = build_topology(spec.topology)
+    source, destination = spec.workload.params["pairs"][0]
+    config = spec.run_config(seed=spec.seeds[0])
+    fast = _measure_flow(topology, "MORE", source, destination, config, rounds=3)
+    legacy = _measure_flow(topology, "MORE", source, destination,
+                           replace(config, engine="legacy"), rounds=3)
+    return {
+        "large_mesh_200_wall_seconds": fast["wall_seconds"],
+        "large_mesh_200_sim_fps": fast["sim_fps"],
+        "large_mesh_200_engine_speedup":
+            legacy["wall_seconds"] / fast["wall_seconds"],
+    }
 
 
 def main(argv: list[str]) -> int:
     output = Path(argv[0]) if argv else DEFAULT_OUTPUT
+    protocols = protocol_benchmarks()
+    engine = engine_benchmarks()
+    engine["more_end_to_end_speedup"] = (
+        protocols["MORE/legacy-engine"]["wall_seconds"]
+        / protocols["MORE"]["wall_seconds"])
+    engine.update(scale_benchmarks())
     report = {
-        "schema": "bench-baseline/v2",
+        "schema": "bench-baseline/v3",
         "config": {"batch_size": K, "packet_size": PACKET_SIZE, "rounds": ROUNDS,
-                   "medium_nodes": MEDIUM_NODES, "medium_frames": MEDIUM_FRAMES},
+                   "medium_nodes": MEDIUM_NODES, "medium_frames": MEDIUM_FRAMES,
+                   "engine_events": BENCH_EVENTS},
         "machine": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -191,7 +263,8 @@ def main(argv: list[str]) -> int:
         "kernels_mbps": kernel_benchmarks(),
         "coding_pps": coding_benchmarks(),
         "medium_fps": medium_benchmarks(),
-        "protocols": protocol_benchmarks(),
+        "engine": engine,
+        "protocols": protocols,
     }
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
                       encoding="utf-8")

@@ -29,8 +29,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.coding.packet import CodedPacket
-from repro.gf.arithmetic import vec_scale
-from repro.gf.kernels import gf_outer, gf_vecmat
+from repro.gf.arithmetic import _zero_bytes, vec_scale
+from repro.gf.kernels import gf_outer, gf_vecmat, gf_vecmat_reference
 from repro.gf.tables import INV
 
 
@@ -48,7 +48,8 @@ class BatchBuffer:
             avoid the payload memory.
     """
 
-    def __init__(self, batch_size: int, packet_size: int, track_payloads: bool = True) -> None:
+    def __init__(self, batch_size: int, packet_size: int, track_payloads: bool = True,
+                 fast: bool = True) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if packet_size < 0:
@@ -56,6 +57,11 @@ class BatchBuffer:
         self.batch_size = batch_size
         self.packet_size = packet_size
         self.track_payloads = track_payloads
+        #: ``fast=False`` keeps the original (pre-optimisation) reduction
+        #: schedule — payloads reduced eagerly in phase 1 through the
+        #: general matmul dispatch — as the reference side of the engine
+        #: differential tests; results are bit-identical either way.
+        self.fast = fast
         # Row i, when occupied, has its leading non-zero coefficient at
         # column i.  Unoccupied rows stay all-zero.
         self._matrix = np.zeros((batch_size, batch_size), dtype=np.uint8)
@@ -105,18 +111,34 @@ class BatchBuffer:
         # Phase 1: reduce the incoming vector against *every* stored pivot
         # row in one kernel call.  Stored rows are reduced, so the pivot
         # coefficients read from the incoming vector cannot change mid-pass
-        # and the simultaneous reduction equals the sequential one.
+        # and the simultaneous reduction equals the sequential one.  The
+        # payload reduction is deferred until the vector proves innovative:
+        # a packet that reduces to zero discards its payload unread, so
+        # non-innovative arrivals never pay for payload arithmetic (the
+        # reductions commute — both are XORs of rows scaled by the same
+        # pre-reduction coefficients — so deferral is bit-identical).
         pivots = np.nonzero(self._occupied)[0]
+        fast = self.fast
+        vecmat = gf_vecmat if fast else gf_vecmat_reference
+        coefficients = None
         if pivots.size:
             coefficients = vector[pivots]
-            if coefficients.any():
-                vector ^= gf_vecmat(coefficients, self._matrix[pivots])
-                if payload is not None and self.packet_size:
-                    payload ^= gf_vecmat(coefficients, self._payload_rows[pivots])
+            if (coefficients.tobytes() != _zero_bytes(pivots.size)) if fast \
+                    else coefficients.any():
+                vector ^= vecmat(coefficients, self._matrix[pivots])
+                if not fast and payload is not None and self.packet_size:
+                    # Reference schedule: the payload is reduced eagerly,
+                    # before the innovation outcome is known.
+                    payload ^= vecmat(coefficients, self._payload_rows[pivots])
+            else:
+                coefficients = None
 
         # Phase 2: the first remaining non-zero column (necessarily pivot
         # free) becomes the new pivot; normalise and clean the other rows.
         remaining = np.nonzero(vector)[0]
+        if fast and coefficients is not None and remaining.size \
+                and payload is not None and self.packet_size:
+            payload ^= gf_vecmat(coefficients, self._payload_rows[pivots])
         if remaining.size == 0:
             # Vector reduced to zero: the packet is not innovative.
             return False

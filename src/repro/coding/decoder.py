@@ -23,9 +23,10 @@ from repro.gf.matrix import SingularMatrixError, invert, matmul
 class BatchDecoder:
     """Collects coded packets of one batch and decodes once full rank."""
 
-    def __init__(self, batch_size: int, packet_size: int, batch_id: int = 0) -> None:
+    def __init__(self, batch_size: int, packet_size: int, batch_id: int = 0,
+                 fast: bool = True) -> None:
         self.batch_id = batch_id
-        self.buffer = BatchBuffer(batch_size, packet_size)
+        self.buffer = BatchBuffer(batch_size, packet_size, fast=fast)
 
     @property
     def rank(self) -> int:

@@ -37,7 +37,7 @@ from repro.gf.arithmetic import (
     random_nonzero_coefficient,
     scale_and_add,
 )
-from repro.gf.kernels import ShiftedRows, gf_vecmat
+from repro.gf.kernels import ShiftedRows, gf_vecmat, gf_vecmat_reference
 
 
 class SourceEncoder:
@@ -61,8 +61,19 @@ class SourceEncoder:
         return self.batch.size
 
     def next_packet(self) -> CodedPacket:
-        """Produce a fresh coded packet over all K native packets."""
-        return self.next_packets(1)[0]
+        """Produce a fresh coded packet over all K native packets.
+
+        The single-packet form of :meth:`next_packets` (same draws, same
+        arithmetic), without the batch-matrix scaffolding: one code-vector
+        draw and one ``vector @ B`` kernel call per transmission.
+        """
+        if self._operand is None:
+            self._operand = ShiftedRows(self._payloads)
+        coefficients = random_code_vector(self.batch.size, self.rng)
+        payload = self._operand.vecmul(coefficients)
+        self.packets_generated += 1
+        return CodedPacket.from_owned(coefficients, payload,
+                                      batch_id=self.batch.batch_id)
 
     def next_packets(self, count: int) -> list[CodedPacket]:
         """Produce ``count`` fresh coded packets with one batched kernel call.
@@ -99,10 +110,13 @@ class ForwarderEncoder:
     """
 
     def __init__(self, batch_size: int, packet_size: int, rng: np.random.Generator,
-                 batch_id: int = 0) -> None:
-        self.buffer = BatchBuffer(batch_size, packet_size)
+                 batch_id: int = 0, fast: bool = True) -> None:
+        self.buffer = BatchBuffer(batch_size, packet_size, fast=fast)
         self.rng = rng
         self.batch_id = batch_id
+        #: ``fast=False`` routes the pre-code products through the original
+        #: matmul dispatch (the engine differential reference path).
+        self.fast = fast
         self._precoded_vector: np.ndarray | None = None
         self._precoded_payload: np.ndarray | None = None
         self.packets_generated = 0
@@ -149,10 +163,11 @@ class ForwarderEncoder:
             self._precoded_payload = None
             return
         coefficients = random_code_vector(self.buffer.rank, self.rng)
-        self._precoded_vector = gf_vecmat(coefficients,
-                                          self.buffer.coefficient_matrix())
-        self._precoded_payload = gf_vecmat(coefficients,
-                                           self.buffer.payload_matrix())
+        vecmat = gf_vecmat if self.fast else gf_vecmat_reference
+        self._precoded_vector = vecmat(coefficients,
+                                       self.buffer.coefficient_matrix())
+        self._precoded_payload = vecmat(coefficients,
+                                        self.buffer.payload_matrix())
 
     def has_data(self) -> bool:
         """True if the forwarder has anything to transmit."""

@@ -92,6 +92,10 @@ class RunConfig:
     estimation_probes: int = DEFAULT_PROBE_COUNT
     vector_only: bool = False
     channel: dict[str, Any] | None = field(default=None)
+    #: Event-engine / hot-path selection: ``fast`` (default) or ``legacy``
+    #: (the pre-optimisation reference; bit-identical results, slower —
+    #: see :class:`repro.sim.radio.SimConfig` and docs/performance.md).
+    engine: str = "fast"
 
     def channel_spec(self) -> ChannelSpec | None:
         """The channel-model spec for the simulator (``None`` = static)."""
@@ -115,7 +119,8 @@ class RunConfig:
 def _make_simulator(topology: Topology, config: RunConfig, bitrate: int | None = None) -> Simulator:
     phy = PhyConfig(bitrate=bitrate if bitrate is not None else config.bitrate)
     sim_config = SimConfig(phy=phy, seed=config.seed, max_duration=config.max_duration,
-                           channel_model=config.channel_spec())
+                           channel_model=config.channel_spec(),
+                           engine=config.engine)
     return Simulator(topology, sim_config)
 
 

@@ -51,7 +51,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.gf.tables import EXP, FIELD_SIZE, LOG
+from repro.gf.tables import EXP, FIELD_SIZE, LOG, MUL
 
 #: Upper bound on the intermediate (rows, k, s) tensors of the gather path.
 _CHUNK_BYTES = 1 << 23  # 8 MiB
@@ -116,6 +116,11 @@ class ShiftedRows:
     instance per batch, so each coded packet costs a single reduce.
     """
 
+    #: Row widths up to this use the cached-log gather for single-vector
+    #: products (measured crossover: the gather wins below ~64 bytes, the
+    #: uint64 stack XOR wins for full 1500-byte payloads).
+    VEC_GATHER_MAX_WIDTH = 64
+
     def __init__(self, matrix: np.ndarray) -> None:
         rows = _as_matrix(matrix, "matrix")
         self.k, self.s = rows.shape
@@ -129,6 +134,29 @@ class ShiftedRows:
             if j < 7:
                 shifted = _xtimes(shifted)
         self._words = self._stack.view(np.uint64) if padded else None
+        # Original operand rows, kept for the narrow single-vector products
+        # of the per-transmission encode path (one MUL-table gather beats
+        # the stacked XOR below ~64-byte rows; wide operands never use it).
+        self._rows: np.ndarray | None = None
+        if self.s and self.s <= self.VEC_GATHER_MAX_WIDTH:
+            self._rows = rows
+
+    def vecmul(self, vector: np.ndarray) -> np.ndarray:
+        """``vector @ B`` for one 1-D coefficient vector (hot encode path).
+
+        Bit-identical to ``matmul(vector[None, :])[0]``; narrow operands
+        take one MUL-table gather plus one XOR-reduce (no per-call operand
+        prep), wide ones the stacked-XOR formulation.
+        """
+        rows = self._rows
+        if rows is None:
+            return self.matmul(vector.reshape(1, -1))[0]
+        if vector.shape[0] != self.k:
+            raise ValueError(
+                f"inner dimensions do not match: ({vector.shape[0]},) @ "
+                f"({self.k}, {self.s})"
+            )
+        return np.bitwise_xor.reduce(MUL[vector[:, None], rows], axis=0)
 
     def matmul(self, a: np.ndarray) -> np.ndarray:
         """``a @ B`` over GF(2^8) for an ``(n, k)`` coefficient matrix."""
@@ -182,9 +210,34 @@ def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 def gf_vecmat(vector: np.ndarray, matrix: np.ndarray) -> np.ndarray:
     """``vector @ matrix`` over GF(2^8) for a 1-D coefficient vector.
 
-    Convenience wrapper around :func:`gf_matmul` returning a 1-D result;
-    this is the single-packet form used by the innovation check and the
-    incremental Gauss–Jordan reduction.
+    The single-packet form used by the innovation check and the incremental
+    Gauss–Jordan reduction — the hottest kernel entry point, so the gather
+    runs directly (no matmul dispatch, no chunking, no output staging);
+    results are bit-identical to ``gf_matmul(vector[None, :], matrix)[0]``.
+    """
+    coefficients = np.asarray(vector, dtype=np.uint8)
+    if coefficients.ndim != 1:
+        raise ValueError(f"vector must be 1-D, got shape {coefficients.shape}")
+    right = _as_matrix(matrix, "matrix")
+    k = coefficients.shape[0]
+    if right.shape[0] != k:
+        raise ValueError(
+            f"inner dimensions do not match: (1, {k}) @ {right.shape}"
+        )
+    if k == 0 or right.shape[1] == 0:
+        return np.zeros(right.shape[1], dtype=np.uint8)
+    # Product-table gather: for the single-vector shape, one fancy index
+    # into the 64 KiB MUL table plus one XOR-reduce beats the two-gather
+    # LOG/EXP route (no intermediate int16 tensor).
+    return np.bitwise_xor.reduce(MUL[coefficients[:, None], right], axis=0)
+
+
+def gf_vecmat_reference(vector: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """The original ``vector @ matrix`` route: through :func:`gf_matmul`.
+
+    Kept as the measurable pre-optimisation reduction path (engine
+    differential tests and the legacy-mode buffers); bit-identical to
+    :func:`gf_vecmat`, just slower for single-vector shapes.
     """
     coefficients = np.asarray(vector, dtype=np.uint8)
     if coefficients.ndim != 1:

@@ -28,6 +28,10 @@ class ProtocolAgent:
         self.node_id = node_id
         self.node: "SimNode | None" = None
         self.sim: "Simulator | None" = None
+        #: Mirrors ``Simulator.fast_engine`` once bound: agents keep their
+        #: original (pre-optimisation) reception paths alive under
+        #: ``SimConfig(engine="legacy")`` for differential testing.
+        self._fast = True
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -37,6 +41,13 @@ class ProtocolAgent:
         """Called when the agent is attached to a simulation node."""
         self.node = node
         self.sim = node.sim
+        self._fast = getattr(node.sim, "fast_engine", True)
+        if self._fast and type(self).notify_pending is ProtocolAgent.notify_pending:
+            # Shadow the delegating method with the node's bound one: the
+            # agent pokes the MAC on most receptions, and the indirection
+            # (method frame + None guard) is pure overhead once bound.
+            # Subclasses that override notify_pending keep their override.
+            self.notify_pending = node.notify_pending
 
     def notify_pending(self) -> None:
         """Wake the MAC because new traffic became available."""

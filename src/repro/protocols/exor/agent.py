@@ -75,12 +75,16 @@ class ExorFlowSpec:
     batch_count: int
     completion_threshold: float = DEFAULT_COMPLETION_THRESHOLD
     bitrate: int | None = None
+    _rank_map: dict[int, int] | None = field(default=None, init=False,
+                                             repr=False, compare=False)
 
     def rank(self, node_id: int) -> int | None:
         """Priority rank of a node (0 = destination = highest priority)."""
-        if node_id not in self.participants:
-            return None
-        return self.participants.index(node_id)
+        ranks = self._rank_map
+        if ranks is None:
+            ranks = self._rank_map = {node: position
+                                      for position, node in enumerate(self.participants)}
+        return ranks.get(node_id)
 
     def data_frame_size(self) -> int:
         """On-air size of an ExOR data frame (payload + header + batch map)."""
@@ -247,10 +251,14 @@ class _ExorFlowState:
         knowledge) the highest-priority holder.
         """
         packets = self.packets_received(self.batch_id)
+        if not packets:
+            return []
         count = self.spec.batch_packet_count(self.batch_id)
+        batch_map = self.batch_map
+        rank = self.rank
         return sorted(
             idx for idx in packets
-            if idx < count and self.batch_map[idx] == self.rank
+            if idx < count and batch_map[idx] == rank
         )
 
 
@@ -470,7 +478,7 @@ class ExorAgent(ProtocolAgent):
         if self.sim is not None:
             self.sim.stats.record_delivery(spec.flow_id, 1, now)
         count = spec.batch_packet_count(batch_id)
-        have = len([i for i in state.packets_received(batch_id) if i < count])
+        have = sum(1 for i in state.packets_received(batch_id) if i < count)
         scheduler = self.schedulers[spec.flow_id]
         if have >= count:
             scheduler.stop()
@@ -548,7 +556,7 @@ class ExorAgent(ProtocolAgent):
             count = spec.batch_packet_count(payload.batch_id)
             if new and self.sim is not None:
                 self.sim.stats.record_delivery(spec.flow_id, 1, now)
-            have = len([i for i in state.packets_received(payload.batch_id) if i < count])
+            have = sum(1 for i in state.packets_received(payload.batch_id) if i < count)
             if have >= count:
                 self._queue_batch_ack(spec, payload.batch_id)
             return

@@ -20,7 +20,7 @@ acked batch (Section 3.3.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,7 +28,12 @@ from repro.coding.decoder import BatchDecoder
 from repro.coding.encoder import ForwarderEncoder, SourceEncoder
 from repro.coding.packet import Batch, CodedPacket
 from repro.protocols.base import ProtocolAgent
-from repro.protocols.more.header import ForwarderEntry, MoreHeader, MorePacketType
+from repro.protocols.more.header import (
+    MAX_FORWARDERS,
+    ForwarderEntry,
+    MoreHeader,
+    MorePacketType,
+)
 from repro.sim.frames import BROADCAST, Frame, FrameKind
 
 #: Size in bytes of a serialised batch ACK (header only, no code vector).
@@ -78,9 +83,30 @@ class MoreFlowSpec:
     total_packets: int
     batch_count: int
     bitrate: int | None = None
+    # Per-flow constants, memoised on first use (the spec is immutable once
+    # installed and these sit on the per-frame hot path).
+    _header_size: int | None = field(default=None, init=False, repr=False,
+                                     compare=False)
+    _forwarder_id_set: frozenset[int] | None = field(default=None, init=False,
+                                                     repr=False, compare=False)
+    _header_forwarders: list[ForwarderEntry] | None = field(default=None, init=False,
+                                                            repr=False, compare=False)
 
     def header_size(self) -> int:
-        """Size of the MORE data header for this flow."""
+        """Size of the MORE data header for this flow (computed once)."""
+        size = self._header_size
+        if size is None:
+            size = self._header_size = self.compute_header_size()
+        return size
+
+    def compute_header_size(self) -> int:
+        """Build a representative header and measure it (uncached).
+
+        The per-frame hot path goes through the memoised
+        :meth:`header_size`; this is the raw computation, also used by the
+        legacy engine mode so the reference measurement keeps the original
+        per-frame cost.
+        """
         header = MoreHeader(
             packet_type=MorePacketType.DATA,
             source=self.source,
@@ -95,6 +121,26 @@ class MoreFlowSpec:
     def data_frame_size(self) -> int:
         """On-air payload size of a MORE data frame."""
         return self.packet_size + self.header_size()
+
+    def forwarder_id_set(self) -> frozenset[int]:
+        """The node ids a data header of this flow lists as forwarders.
+
+        Matches ``MoreHeader.forwarder_ids()`` exactly, including the
+        :data:`~repro.protocols.more.header.MAX_FORWARDERS` truncation the
+        header applies on construction.
+        """
+        ids = self._forwarder_id_set
+        if ids is None:
+            ids = self._forwarder_id_set = frozenset(
+                entry.node_id for entry in self.forwarders[:MAX_FORWARDERS])
+        return ids
+
+    def header_forwarders(self) -> list[ForwarderEntry]:
+        """The (pre-truncated) forwarder list carried by every data header."""
+        entries = self._header_forwarders
+        if entries is None:
+            entries = self._header_forwarders = self.forwarders[:MAX_FORWARDERS]
+        return entries
 
     def ack_next_hop(self, node_id: int) -> int | None:
         """Next hop toward the source on the ACK route, or None."""
@@ -114,7 +160,7 @@ class MoreFlowSpec:
         return sender_distance > receiver_distance
 
 
-@dataclass
+@dataclass(slots=True)
 class MoreDataPayload:
     """Payload attached to MORE data frames."""
 
@@ -122,7 +168,7 @@ class MoreDataPayload:
     coded: CodedPacket
 
 
-@dataclass
+@dataclass(slots=True)
 class MoreAckPayload:
     """Payload attached to MORE batch ACK frames."""
 
@@ -139,30 +185,47 @@ class _SourceState:
         self.batches = batches
         self.current_batch = 0
         self.acked: set[int] = set()
-
-    @property
-    def done(self) -> bool:
-        """True once every batch of the transfer has been acknowledged."""
-        return len(self.acked) >= len(self.encoders)
+        #: True once every batch of the transfer has been acknowledged
+        #: (maintained by :meth:`handle_ack`; polled on every MAC poll).
+        self.done = False
 
     def handle_ack(self, batch_id: int) -> None:
         """Record a batch ACK and advance to the next batch."""
         self.acked.add(batch_id)
         while self.current_batch < len(self.encoders) and self.current_batch in self.acked:
             self.current_batch += 1
+        if len(self.acked) >= len(self.encoders):
+            self.done = True
 
 
 class _ForwarderState:
     """Per-flow state held by an intermediate forwarder."""
 
-    def __init__(self, spec: MoreFlowSpec, node_id: int, rng: np.random.Generator) -> None:
+    def __init__(self, spec: MoreFlowSpec, node_id: int, rng: np.random.Generator,
+                 fast: bool = True) -> None:
         self.spec = spec
         self.node_id = node_id
         self.rng = rng
+        self.fast = fast
         self.tx_credit = spec.tx_credit.get(node_id, 0.0)
         self.credit = 0.0
         self.current_batch = 0
         self.encoder: ForwarderEncoder | None = None
+        # The senders whose packets count as "from upstream" for this node
+        # (strictly greater ETX distance to the destination) never change
+        # per flow: one frozenset probe replaces two dict probes plus a
+        # float comparison per heard data frame.
+        mine = spec.distances.get(node_id)
+        if mine is None:
+            self.upstream_senders: frozenset[int] = frozenset()
+        else:
+            self.upstream_senders = frozenset(
+                node for node, distance in spec.distances.items()
+                if distance > mine)
+        # Whether this node actually appears in the (truncated) forwarder
+        # list data headers carry — forwarders pruned by the MAX_FORWARDERS
+        # cap keep state but must ignore the flow's data packets.
+        self.listed = node_id in spec.forwarder_id_set()
 
     def _ensure_encoder(self, batch_size: int, batch_id: int) -> ForwarderEncoder:
         if self.encoder is None or self.encoder.buffer.batch_size != batch_size \
@@ -172,6 +235,7 @@ class _ForwarderState:
                 packet_size=self.spec.coding_payload_size,
                 rng=self.rng,
                 batch_id=batch_id,
+                fast=self.fast,
             )
         return self.encoder
 
@@ -181,13 +245,18 @@ class _ForwarderState:
         self.credit = 0.0
         self.encoder = None
 
-    def handle_data(self, header: MoreHeader, coded: CodedPacket) -> bool:
+    def handle_data(self, header: MoreHeader, coded: CodedPacket,
+                    fast: bool = False) -> bool:
         """Process a data packet heard for this flow; return True if buffered."""
         if header.batch_id < self.current_batch:
             return False
         if header.batch_id > self.current_batch:
             self.flush(header.batch_id)
         encoder = self._ensure_encoder(coded.batch_size, header.batch_id)
+        if fast and encoder.buffer.is_full:
+            # Full rank: no vector can be innovative, and a non-innovative
+            # insert draws no randomness — skip the GF elimination outright.
+            return False
         return encoder.add_packet(coded)
 
     @property
@@ -200,8 +269,9 @@ class _ForwarderState:
 class _DestinationState:
     """Per-flow state held by the destination node."""
 
-    def __init__(self, spec: MoreFlowSpec) -> None:
+    def __init__(self, spec: MoreFlowSpec, fast: bool = True) -> None:
         self.spec = spec
+        self.fast = fast
         self.current_batch = 0
         self.decoder: BatchDecoder | None = None
         self.completed: set[int] = set()
@@ -214,6 +284,7 @@ class _DestinationState:
                 batch_size=batch_size,
                 packet_size=self.spec.coding_payload_size,
                 batch_id=batch_id,
+                fast=self.fast,
             )
         return self.decoder
 
@@ -249,6 +320,12 @@ class MoreAgent(ProtocolAgent):
         self.specs: dict[int, MoreFlowSpec] = {}
         self._ack_queue: list[Frame] = []
         self._round_robin = 0
+        # (flow_id, state) when this agent serves exactly one flow in one
+        # role — the overwhelmingly common shape, dispatched without
+        # rebuilding the backlogged-flow list on every MAC poll.  Refreshed
+        # by the install_* methods.
+        self._single_source: tuple[int, _SourceState] | None = None
+        self._single_forwarder: tuple[int, _ForwarderState] | None = None
         # Counters for the overhead analysis.
         self.data_sent = 0
         self.acks_sent = 0
@@ -263,16 +340,28 @@ class MoreAgent(ProtocolAgent):
         """Install source-side state for a flow originating at this node."""
         self.specs[spec.flow_id] = spec
         self.source_flows[spec.flow_id] = _SourceState(spec, batches, self.rng)
+        self._refresh_flow_shape()
 
     def install_forwarder(self, spec: MoreFlowSpec) -> None:
         """Install forwarder-side state for a flow this node may relay."""
         self.specs[spec.flow_id] = spec
-        self.forward_flows[spec.flow_id] = _ForwarderState(spec, self.node_id, self.rng)
+        self.forward_flows[spec.flow_id] = _ForwarderState(spec, self.node_id,
+                                                           self.rng, fast=self._fast)
+        self._refresh_flow_shape()
+
+    def _refresh_flow_shape(self) -> None:
+        """Recompute the single-flow dispatch shortcuts."""
+        self._single_source = None
+        self._single_forwarder = None
+        if not self.forward_flows and len(self.source_flows) == 1:
+            self._single_source = next(iter(self.source_flows.items()))
+        elif not self.source_flows and len(self.forward_flows) == 1:
+            self._single_forwarder = next(iter(self.forward_flows.items()))
 
     def install_destination(self, spec: MoreFlowSpec) -> None:
         """Install destination-side state for a flow terminating at this node."""
         self.specs[spec.flow_id] = spec
-        self.destination_flows[spec.flow_id] = _DestinationState(spec)
+        self.destination_flows[spec.flow_id] = _DestinationState(spec, fast=self._fast)
 
     def install_ack_relay(self, spec: MoreFlowSpec) -> None:
         """Register the flow spec so this node can relay its batch ACKs."""
@@ -285,6 +374,21 @@ class MoreAgent(ProtocolAgent):
     def has_pending(self, now: float) -> bool:
         if self._ack_queue:
             return True
+        if self._fast:
+            single = self._single_source
+            if single is not None:
+                return not single[1].done
+            single = self._single_forwarder
+            if single is not None:
+                return single[1].backlogged
+            for state in self.source_flows.values():
+                if not state.done:
+                    return True
+            for state in self.forward_flows.values():
+                if state.backlogged:
+                    return True
+            return False
+        # Reference path: the original generator-expression scans.
         if any(not state.done for state in self.source_flows.values()):
             return True
         return any(state.backlogged for state in self.forward_flows.values())
@@ -293,14 +397,33 @@ class MoreAgent(ProtocolAgent):
         # Batch ACKs have strict priority (Section 3.2.2).
         if self._ack_queue:
             return self._ack_queue[0]
+        if self._fast:
+            # Single-flow fast paths (the overwhelmingly common agent
+            # shapes): round-robin over one backlogged flow always lands on
+            # it, so skip building and sorting the flow-id list.
+            single = self._single_source
+            if single is not None:
+                flow_id, state = single
+                if state.done:
+                    return None
+                self._round_robin = 0
+                return self._make_source_frame(flow_id, state)
+            single = self._single_forwarder
+            if single is not None:
+                flow_id, state = single
+                if not state.backlogged:
+                    return None
+                self._round_robin = 0
+                return self._make_forwarder_frame(flow_id)
         flows = self._backlogged_flow_ids()
         if not flows:
             return None
         # Round-robin over backlogged flows (Section 3.3.3, sender side).
         self._round_robin = (self._round_robin + 1) % len(flows)
         flow_id = flows[self._round_robin]
-        if flow_id in self.source_flows and not self.source_flows[flow_id].done:
-            return self._make_source_frame(flow_id)
+        source_state = self.source_flows.get(flow_id)
+        if source_state is not None and not source_state.done:
+            return self._make_source_frame(flow_id, source_state)
         return self._make_forwarder_frame(flow_id)
 
     def _backlogged_flow_ids(self) -> list[int]:
@@ -319,29 +442,52 @@ class MoreAgent(ProtocolAgent):
     # Frame construction
     # ------------------------------------------------------------------ #
 
-    def _make_source_frame(self, flow_id: int) -> Frame:
-        state = self.source_flows[flow_id]
+    def _make_source_frame(self, flow_id: int,
+                           state: _SourceState | None = None) -> Frame:
+        if state is None:
+            state = self.source_flows[flow_id]
         spec = state.spec
         encoder = state.encoders[state.current_batch]
-        coded = encoder.next_packet()
-        header = MoreHeader(
-            packet_type=MorePacketType.DATA,
-            source=spec.source,
-            destination=spec.destination,
-            flow_id=flow_id,
-            batch_id=state.current_batch,
-            code_vector=coded.code_vector,
-            forwarders=spec.forwarders,
-        )
+        # The dedicated single-packet encode path skips the batch-matrix
+        # scaffolding; legacy mode keeps the original batched-call pattern
+        # (same draws, same packet, different constant factor).
+        coded = encoder.next_packet() if self._fast else encoder.next_packets(1)[0]
+        header = self._make_data_header(spec, flow_id, state.current_batch, coded)
         self.data_sent += 1
         return Frame(
             sender=self.node_id,
             receiver=BROADCAST,
             kind=FrameKind.DATA,
             flow_id=flow_id,
-            size_bytes=spec.data_frame_size(),
+            size_bytes=self._frame_size(spec),
             payload=MoreDataPayload(header=header, coded=coded),
         )
+
+    def _make_data_header(self, spec: MoreFlowSpec, flow_id: int, batch_id: int,
+                          coded: CodedPacket) -> MoreHeader:
+        """Per-transmission header; normalisation-free under the fast engine."""
+        if self._fast:
+            # The code vector is uint8 by construction and the spec's header
+            # forwarder list is pre-truncated, so __post_init__ has nothing
+            # to do — skip it.
+            return MoreHeader.for_data(spec.source, spec.destination, flow_id,
+                                       batch_id, coded.code_vector,
+                                       spec.header_forwarders())
+        return MoreHeader(
+            packet_type=MorePacketType.DATA,
+            source=spec.source,
+            destination=spec.destination,
+            flow_id=flow_id,
+            batch_id=batch_id,
+            code_vector=coded.code_vector,
+            forwarders=spec.forwarders,
+        )
+
+    def _frame_size(self, spec: MoreFlowSpec) -> int:
+        """On-air data-frame size (memoised on the spec under the fast engine)."""
+        if self._fast:
+            return spec.data_frame_size()
+        return spec.packet_size + spec.compute_header_size()
 
     def _make_forwarder_frame(self, flow_id: int) -> Frame | None:
         state = self.forward_flows.get(flow_id)
@@ -351,22 +497,14 @@ class MoreAgent(ProtocolAgent):
         assert state.encoder is not None
         coded = state.encoder.next_packet()
         state.credit -= 1.0
-        header = MoreHeader(
-            packet_type=MorePacketType.DATA,
-            source=spec.source,
-            destination=spec.destination,
-            flow_id=flow_id,
-            batch_id=state.current_batch,
-            code_vector=coded.code_vector,
-            forwarders=spec.forwarders,
-        )
+        header = self._make_data_header(spec, flow_id, state.current_batch, coded)
         self.data_sent += 1
         return Frame(
             sender=self.node_id,
             receiver=BROADCAST,
             kind=FrameKind.DATA,
             flow_id=flow_id,
-            size_bytes=spec.data_frame_size(),
+            size_bytes=self._frame_size(spec),
             payload=MoreDataPayload(header=header, coded=coded),
         )
 
@@ -393,11 +531,15 @@ class MoreAgent(ProtocolAgent):
     # ------------------------------------------------------------------ #
 
     def on_frame_received(self, frame: Frame, now: float) -> None:
-        if frame.kind is FrameKind.BATCH_ACK and isinstance(frame.payload, MoreAckPayload):
-            self._handle_ack(frame, frame.payload, now)
+        # Data frames outnumber ACKs by orders of magnitude: check them first.
+        kind = frame.kind
+        if kind is FrameKind.DATA:
+            payload = frame.payload
+            if payload.__class__ is MoreDataPayload:
+                self._handle_data(frame, payload, now)
             return
-        if frame.kind is FrameKind.DATA and isinstance(frame.payload, MoreDataPayload):
-            self._handle_data(frame, frame.payload, now)
+        if kind is FrameKind.BATCH_ACK and isinstance(frame.payload, MoreAckPayload):
+            self._handle_ack(frame, frame.payload, now)
 
     def _handle_ack(self, frame: Frame, ack: MoreAckPayload, now: float) -> None:
         spec = self.specs.get(ack.flow_id)
@@ -418,25 +560,69 @@ class MoreAgent(ProtocolAgent):
         self._queue_ack(spec, ack.batch_id)
 
     def _handle_data(self, frame: Frame, payload: MoreDataPayload, now: float) -> None:
+        if not self._fast:
+            self._handle_data_legacy(frame, payload, now)
+            return
+        header = payload.header
+        flow_id = header.flow_id
+        # Per-flow roles are disjoint (a node sources, forwards or decodes a
+        # given flow), so dispatch straight off the role tables; nodes with
+        # neither role for this flow — the source hearing itself, ACK-route
+        # relays, bystanders — fall through and ignore the packet, exactly
+        # like the reference path's membership checks.
+        state = self.forward_flows.get(flow_id)
+        if state is not None:
+            # Forwarders pruned from the header by the MAX_FORWARDERS cap
+            # must ignore the flow's data (the membership test of the
+            # reference path, precomputed per flow).
+            if not state.listed:
+                return
+            batch_id = header.batch_id
+            if batch_id >= state.current_batch \
+                    and frame.sender in state.upstream_senders:
+                # Credit increases for every packet heard from upstream
+                # (Section 3.3.3), before the innovation check.
+                if batch_id > state.current_batch:
+                    state.flush(batch_id)
+                state.credit += state.tx_credit
+            if state.handle_data(header, payload.coded, True):
+                self.innovative_received += 1
+            else:
+                self.non_innovative_received += 1
+            if state.backlogged:
+                self.notify_pending()
+            return
+        destination_state = self.destination_flows.get(flow_id)
+        if destination_state is not None:
+            spec = self.specs.get(flow_id)
+            if spec is not None:
+                self._handle_data_at_destination(spec, header, payload.coded, now)
+
+    def _handle_data_legacy(self, frame: Frame, payload: MoreDataPayload,
+                            now: float) -> None:
+        """The reference (pre-optimisation) reception path, bit-identical to
+        :meth:`_handle_data` and kept live under ``engine="legacy"``."""
         header = payload.header
         spec = self.specs.get(header.flow_id)
         if spec is None:
             return
+        node_id = self.node_id
 
-        if self.node_id == spec.destination:
+        if node_id == spec.destination:
             self._handle_data_at_destination(spec, header, payload.coded, now)
             return
 
-        if self.node_id not in header.forwarder_ids() and self.node_id != spec.source:
+        if node_id not in header.forwarder_ids() and node_id != spec.source:
             return
-        if self.node_id == spec.source:
+        if node_id == spec.source:
             # The source ignores data packets of its own flow.
             return
 
         state = self.forward_flows.get(header.flow_id)
         if state is None:
             return
-        if header.batch_id >= state.current_batch and spec.is_upstream(frame.sender, self.node_id):
+        if header.batch_id >= state.current_batch \
+                and spec.is_upstream(frame.sender, node_id):
             # Credit increases for every packet heard from upstream
             # (Section 3.3.3), before the innovation check.
             if header.batch_id > state.current_batch:

@@ -44,7 +44,7 @@ class ForwarderEntry:
         return min(255, max(0, int(round(self.tx_credit * CREDIT_SCALE))))
 
 
-@dataclass
+@dataclass(slots=True)
 class MoreHeader:
     """The MORE header carried in front of every data packet and batch ACK.
 
@@ -73,6 +73,27 @@ class MoreHeader:
             self.forwarders = self.forwarders[:MAX_FORWARDERS]
         if self.code_vector is not None:
             self.code_vector = np.asarray(self.code_vector, dtype=np.uint8)
+
+    @classmethod
+    def for_data(cls, source: int, destination: int, flow_id: int, batch_id: int,
+                 code_vector: np.ndarray,
+                 forwarders: list[ForwarderEntry]) -> "MoreHeader":
+        """Build a DATA header without re-normalising the inputs.
+
+        The per-transmission fast path: callers must pass a ``uint8`` code
+        vector and a forwarder list already within
+        :data:`MAX_FORWARDERS` entries (both invariants hold for
+        spec-derived inputs), so the ``__post_init__`` checks are skipped.
+        """
+        header = cls.__new__(cls)
+        header.packet_type = MorePacketType.DATA
+        header.source = source
+        header.destination = destination
+        header.flow_id = flow_id
+        header.batch_id = batch_id
+        header.code_vector = code_vector
+        header.forwarders = forwarders
+        return header
 
     # ------------------------------------------------------------------ #
     # Serialisation

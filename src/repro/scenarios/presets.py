@@ -181,6 +181,36 @@ register(ScenarioSpec(
 ))
 
 # --------------------------------------------------------------------------- #
+# Scale tier: the engine hot-path workloads (see docs/performance.md)
+# --------------------------------------------------------------------------- #
+
+register(ScenarioSpec(
+    name="large_mesh_200",
+    description="Scale tier: 200-node random-geometric mesh, one 7-hop flow "
+                "per protocol (the event-engine hot-path workload)",
+    topology=TopologySpec("random_geometric", {"node_count": 200, "area": 420.0,
+                                               "seed": 11}),
+    # Explicit far pair (7 ETX hops): pair selection by hop count is
+    # O(n^2 Dijkstra) at this scale, which would dwarf the simulation.
+    workload=WorkloadSpec("explicit", {"pairs": [[168, 0]]}),
+    run={"total_packets": 64, "batch_size": 32, "coding_payload_size": 16,
+         "max_duration": 60.0},
+    seeds=(1,),
+))
+
+register(ScenarioSpec(
+    name="multiflow_scale",
+    description="Scale tier: 8 concurrent flows on a 48-node random-geometric "
+                "mesh (contention at scale)",
+    topology=TopologySpec("random_geometric", {"node_count": 48, "area": 200.0,
+                                               "seed": 11}),
+    workload=WorkloadSpec("multiflow", {"flows_per_set": 8, "set_count": 1}),
+    mode="multiflow",
+    run={"total_packets": 48, "coding_payload_size": 16, "max_duration": 60.0},
+    seeds=(1,),
+))
+
+# --------------------------------------------------------------------------- #
 # Channel-model scenario families (see repro.sim.channels)
 # --------------------------------------------------------------------------- #
 

@@ -1,10 +1,25 @@
 """Discrete-event engine.
 
-A minimal but complete event scheduler: events are (time, sequence,
-callback) tuples kept in a binary heap; ties in time are broken by insertion
+A minimal but complete event scheduler: events are plain ``(time, sequence,
+handle)`` tuples kept in a binary heap; ties in time are broken by insertion
 order so runs are fully deterministic.  The engine underpins the whole
 wireless substrate — the MAC, the medium and the protocol agents all operate
-by scheduling callbacks.
+by scheduling callbacks — which makes it the hottest loop of every
+simulation, so the implementation is deliberately allocation-light:
+
+* heap entries are tuples (no per-event dataclass), and the handle a caller
+  may use to cancel is a ``__slots__`` object;
+* cancellation is *lazy*: a cancelled entry stays in the heap (its handle's
+  callback slot is cleared) and is discarded when it reaches the top, with
+  a live-event counter making :attr:`EventQueue.empty` O(1) and a periodic
+  compaction pass keeping the heap small when cancelled entries dominate;
+* :meth:`EventQueue.run` hoists attribute lookups out of the dispatch loop.
+
+:class:`LegacyEventQueue` is the original (pre-optimisation) implementation,
+kept as the reference side of the engine differential tests
+(``tests/sim/test_engine_differential.py``) and of the hot-path benchmark
+(``benchmarks/test_engine_hot_path.py``): both queues run the exact same
+event sequences, one of them just does it faster.
 """
 
 from __future__ import annotations
@@ -13,10 +28,194 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable
 
+#: Sentinel stored in a handle's callback slot once the event has fired, so
+#: a late ``cancel()`` neither double-counts nor marks the handle cancelled.
+_FIRED = object()
+
+#: Lazy cancellation compacts the heap only when at least this many
+#: cancelled entries have accumulated *and* they outnumber the live ones —
+#: amortised O(log n) per operation, never a rescan on the hot path.
+COMPACTION_MIN_CANCELLED = 64
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventQueue.schedule`, usable to cancel."""
+
+    __slots__ = ("time", "_callback", "_queue")
+
+    def __init__(self, time: float, callback: Callable[[], None],
+                 queue: "EventQueue") -> None:
+        self.time = time
+        self._callback = callback
+        self._queue = queue
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running (idempotent).
+
+        O(1): the heap entry is left in place with its callback cleared and
+        is dropped when it surfaces (or at the next compaction).
+        """
+        callback = self._callback
+        if callback is None or callback is _FIRED:
+            return  # already cancelled / already fired
+        self._callback = None
+        queue = self._queue
+        queue._live -= 1
+        queue._cancelled += 1
+        if (queue._cancelled > COMPACTION_MIN_CANCELLED
+                and queue._cancelled > queue._live):
+            queue._compact()
+
+    @property
+    def cancelled(self) -> bool:
+        """True if the event has been cancelled (False once it has fired)."""
+        return self._callback is None
+
+
+class EventQueue:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._sequence = 0
+        self._live = 0        # scheduled, not yet fired, not cancelled
+        self._cancelled = 0   # cancelled entries still sitting in the heap
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        time = self.now + delay
+        handle = EventHandle(time, callback, self)
+        heapq.heappush(self._heap, (time, self._sequence, handle))
+        self._sequence += 1
+        self._live += 1
+        return handle
+
+    def schedule_callback(self, delay: float, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancel handle is created.
+
+        The MAC's completion/turnaround events never cancel, so the hot
+        path skips materialising an :class:`EventHandle` per event; the
+        callback itself rides in the heap tuple.  Dispatch order is
+        unchanged (same ``(time, sequence)`` key space).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, callback))
+        self._sequence += 1
+        self._live += 1
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time."""
+        return self.schedule(max(0.0, time - self.now), callback)
+
+    @property
+    def empty(self) -> bool:
+        """True if no pending (non-cancelled) events remain.  O(1)."""
+        return self._live == 0
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap.
+
+        Re-heapifying the surviving tuples cannot reorder events: the heap
+        invariant is rebuilt over the same ``(time, sequence)`` keys, and
+        dispatch order is fully determined by those keys.  The list is
+        filtered in place so a :meth:`run` loop holding a reference to it
+        (cancellations routinely happen inside callbacks) stays valid.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap
+                   if entry[2].__class__ is not EventHandle
+                   or entry[2]._callback is not None]
+        heapq.heapify(heap)
+        self._cancelled = 0
+
+    def run(self, until: float | None = None,
+            stop_condition: Callable[[], bool] | None = None,
+            max_events: int | None = None,
+            version_source=None) -> float:
+        """Process events in time order.
+
+        Args:
+            until: stop once the clock would pass this time (the clock is
+                left at ``until``).
+            stop_condition: evaluated after every event; processing stops as
+                soon as it returns True.
+            max_events: hard cap on processed events (guards against
+                run-away protocols in tests).
+            version_source: optional object with an integer ``version``
+                attribute that increments whenever the state
+                ``stop_condition`` reads changes (e.g. a
+                :class:`~repro.sim.trace.StatsCollector`).  When given, the
+                condition is only evaluated after *state-changing* events —
+                a pure function of that state cannot change value while the
+                version stands still, so the stopping event is identical to
+                evaluating it every time.
+
+        Returns:
+            The simulation time when processing stopped.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        now = self.now
+        processed_here = 0
+        last_version = -1
+        try:
+            while heap:
+                entry = heap[0]
+                target = entry[2]
+                if target.__class__ is EventHandle:
+                    callback = target._callback
+                    if callback is None:  # lazily-cancelled entry surfacing
+                        pop(heap)
+                        self._cancelled -= 1
+                        continue
+                    handle = target
+                else:  # handle-free entry: the callback rides in the tuple
+                    callback = target
+                    handle = None
+                time = entry[0]
+                if until is not None and time > until:
+                    now = until
+                    break
+                pop(heap)
+                self._live -= 1
+                if handle is not None:
+                    handle._callback = _FIRED
+                self.now = now = time
+                callback()
+                processed_here += 1
+                if stop_condition is not None:
+                    if version_source is None:
+                        if stop_condition():
+                            return now
+                    else:
+                        version = version_source.version
+                        if version != last_version:
+                            last_version = version
+                            if stop_condition():
+                                return now
+                if max_events is not None and processed_here >= max_events:
+                    return now
+        finally:
+            self.processed += processed_here
+        if until is not None and until > now:
+            now = until
+        self.now = now
+        return now
+
+
+# --------------------------------------------------------------------------- #
+# Reference implementation (the pre-optimisation engine)
+# --------------------------------------------------------------------------- #
+
 
 @dataclass(order=True)
-class _ScheduledEvent:
-    """Internal heap entry; ordering is by (time, sequence)."""
+class _LegacyScheduledEvent:
+    """Internal heap entry of the legacy queue; ordering is (time, sequence)."""
 
     time: float
     sequence: int
@@ -24,12 +223,12 @@ class _ScheduledEvent:
     cancelled: bool = field(default=False, compare=False)
 
 
-class EventHandle:
-    """Handle returned by :meth:`EventQueue.schedule`, usable to cancel."""
+class LegacyEventHandle:
+    """Handle returned by :meth:`LegacyEventQueue.schedule`."""
 
     __slots__ = ("_event",)
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _LegacyScheduledEvent) -> None:
         self._event = event
 
     def cancel(self) -> None:
@@ -47,49 +246,41 @@ class EventHandle:
         return self._event.cancelled
 
 
-class EventQueue:
-    """A deterministic discrete-event scheduler."""
+class LegacyEventQueue:
+    """The original dataclass-heap scheduler, kept as the differential and
+    benchmark reference for :class:`EventQueue` (select it with
+    ``SimConfig(engine="legacy")``).  Dispatch order, tie-breaking and the
+    public API are identical; only the constant factors differ."""
 
     def __init__(self) -> None:
-        self._heap: list[_ScheduledEvent] = []
+        self._heap: list[_LegacyScheduledEvent] = []
         self._sequence = 0
         self.now = 0.0
         self.processed = 0
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+    def schedule(self, delay: float, callback: Callable[[], None]) -> LegacyEventHandle:
         """Schedule ``callback`` to run ``delay`` seconds from the current time."""
         if delay < 0:
             raise ValueError(f"cannot schedule an event in the past (delay={delay})")
-        event = _ScheduledEvent(time=self.now + delay, sequence=self._sequence, callback=callback)
+        event = _LegacyScheduledEvent(time=self.now + delay, sequence=self._sequence,
+                                      callback=callback)
         self._sequence += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return LegacyEventHandle(event)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> LegacyEventHandle:
         """Schedule ``callback`` at an absolute simulation time."""
         return self.schedule(max(0.0, time - self.now), callback)
 
     @property
     def empty(self) -> bool:
-        """True if no pending (non-cancelled) events remain."""
+        """True if no pending (non-cancelled) events remain (O(n) scan)."""
         return not any(not e.cancelled for e in self._heap)
 
     def run(self, until: float | None = None,
             stop_condition: Callable[[], bool] | None = None,
             max_events: int | None = None) -> float:
-        """Process events in time order.
-
-        Args:
-            until: stop once the clock would pass this time (the clock is
-                left at ``until``).
-            stop_condition: evaluated after every event; processing stops as
-                soon as it returns True.
-            max_events: hard cap on processed events (guards against
-                run-away protocols in tests).
-
-        Returns:
-            The simulation time when processing stopped.
-        """
+        """Process events in time order (see :meth:`EventQueue.run`)."""
         processed_here = 0
         while self._heap:
             event = self._heap[0]
@@ -111,3 +302,52 @@ class EventQueue:
         if until is not None:
             self.now = max(self.now, until)
         return self.now
+
+
+# --------------------------------------------------------------------------- #
+# Canonical scheduler benchmark workload
+# --------------------------------------------------------------------------- #
+
+#: Shared by ``benchmarks/test_engine_hot_path.py`` (the perf-strict
+#: events/s floor) and ``scripts/bench_baseline.py`` (the committed
+#: ``engine_eps`` baseline) so both measure the same quantity.
+BENCH_TIMERS = 32
+BENCH_EVENTS = 60_000
+BENCH_CANCEL_EVERY = 3
+
+
+def pump_timer_workload(queue, events: int = BENCH_EVENTS,
+                        timers: int = BENCH_TIMERS,
+                        cancel_every: int = BENCH_CANCEL_EVERY) -> int:
+    """Drive a deterministic timer workload through ``queue``; return a digest.
+
+    ``timers`` self-rescheduling timers with co-prime periods model the MAC
+    retransmission/backoff traffic of a busy mesh; every ``cancel_every``-th
+    firing additionally schedules a watchdog and immediately cancels it
+    (the dominant handle pattern of the CSMA MAC), exercising lazy
+    cancellation and compaction.  Works on any queue with the
+    ``schedule``/``run`` API; the returned digest lets differential tests
+    assert both queues dispatched the identical sequence.
+    """
+    fired = 0
+    digest = 0
+
+    def make_timer(index: int):
+        period = 1.0 + (index % 7) * 0.001 + index * 1e-6
+
+        def tick() -> None:
+            nonlocal fired, digest
+            fired += 1
+            digest = (digest * 31 + index + 1) % 1_000_000_007
+            if fired < events:
+                handle = queue.schedule(period, tick)
+                if fired % cancel_every == 0:
+                    watchdog = queue.schedule(period * 2.0, tick)
+                    watchdog.cancel()
+                    _ = handle  # keep the live handle pattern of the MAC
+        return tick
+
+    for index in range(timers):
+        queue.schedule(0.001 * (index + 1), make_timer(index))
+    queue.run(max_events=events)
+    return digest

@@ -27,7 +27,7 @@ class FrameKind(Enum):
     CONTROL = "control"
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """A link-layer frame.
 

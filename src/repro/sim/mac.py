@@ -21,6 +21,16 @@ Model summary:
 * Collisions between contenders that can hear each other are avoided by
   carrier sense (as in real DCF most of the time); collisions from hidden
   terminals and overlapping transmissions are resolved by the medium.
+
+The transmit path runs once per frame in every simulation, so it is written
+allocation-free: completion and ARQ-turnaround callbacks are bound methods
+(the in-flight :class:`~repro.sim.medium.Transmission` rides in a slot on
+the MAC rather than in a per-frame closure), frame kinds dispatch on enum
+identity, and the event queue / medium / PHY / agent references are cached
+at construction instead of being re-resolved through the simulator on every
+call.  ``SimConfig(engine="legacy")`` restores the original closure-based
+path — bit-identical, just slower — as the reference side of the engine
+differential tests and benchmark.
 """
 
 from __future__ import annotations
@@ -28,7 +38,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import TYPE_CHECKING
 
-from repro.sim.frames import Frame
+from repro.sim.frames import BROADCAST, Frame, FrameKind
 from repro.sim.medium import Transmission
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -63,20 +73,38 @@ class CsmaMac:
         self.node_id = node_id
         self.sim = simulator
         self.phy = simulator.config.phy
+        # Hot-path collaborators, resolved once (the simulator builds its
+        # event queue, RNG and medium before any node/MAC exists).
+        self.events = simulator.events
+        self.rng = simulator.rng
+        self.medium = simulator.medium
+        #: The node's protocol agent; kept in sync by :meth:`SimNode.attach`.
+        self.agent = None
         self.state = MacState.IDLE
         self.stats = MacStats()
+        self._fast = getattr(simulator, "fast_engine", True)
         self._current_frame: Frame | None = None
         self._attempt = 0
         self._pending_handle = None
+        self._inflight: Transmission | None = None
+        self._finish_success = False
+        # Per-attempt contention windows and PHY timing constants, resolved
+        # once: the exponentiation in ``contention_window`` and the frozen
+        # dataclass field lookups would otherwise run on every backoff.
+        phy = self.phy
+        self._windows = tuple(phy.contention_window(attempt)
+                              for attempt in range(phy.retry_limit + 2))
+        self._window_count = len(self._windows)
+        self._difs = phy.difs
+        self._slot_time = phy.slot_time
+        self._turnaround = phy.sifs + phy.ack_airtime()
+        self._draw_slots = simulator.rng.integers
+        # (size_bytes, bitrate) -> airtime; flows reuse a handful of sizes.
+        self._airtimes: dict[tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------ #
     # Agent-facing API
     # ------------------------------------------------------------------ #
-
-    @property
-    def agent(self):
-        """The protocol agent attached to this node."""
-        return self.sim.nodes[self.node_id].agent
 
     def trigger(self) -> None:
         """Notify the MAC that the agent may have frames to send.
@@ -85,7 +113,8 @@ class CsmaMac:
         """
         if self.state is not MacState.IDLE:
             return
-        if self.agent is None or not self.agent.has_pending(self.sim.now):
+        agent = self.agent
+        if agent is None or not agent.has_pending(self.events.now):
             return
         self._start_contention()
 
@@ -94,30 +123,51 @@ class CsmaMac:
     # ------------------------------------------------------------------ #
 
     def _backoff_delay(self) -> float:
-        """DIFS plus a random backoff drawn from the current contention window."""
+        """DIFS plus a random backoff drawn from the current contention window.
+
+        The reference formulation; the fast engine inlines the equivalent
+        draw (precomputed windows, cached timing constants) in
+        :meth:`_start_contention`.
+        """
         window = self.phy.contention_window(self._attempt)
-        slots = int(self.sim.rng.integers(0, window + 1))
+        slots = int(self.rng.integers(0, window + 1))
         return self.phy.difs + self.phy.backoff_time(slots)
 
-    def _start_contention(self) -> None:
+    def _start_contention(self, now: float | None = None) -> None:
         """Schedule the next transmission attempt respecting carrier sense."""
         self.state = MacState.CONTENDING
-        now = self.sim.now
-        delay = self._backoff_delay()
-        if self.sim.medium.is_busy(self.node_id, now):
-            delay += self.sim.medium.busy_until(self.node_id, now) - now
-        self._pending_handle = self.sim.schedule(delay, self._attempt_transmission)
+        events = self.events
+        if now is None:
+            now = events.now
+        medium = self.medium
+        if self._fast:
+            # _backoff_delay inlined: the per-attempt window is precomputed
+            # and the PHY timing constants are cached floats.
+            attempt = self._attempt
+            window = self._windows[attempt] if attempt < self._window_count \
+                else self.phy.contention_window(attempt)
+            delay = self._difs + int(self._draw_slots(0, window + 1)) * self._slot_time
+            horizon = medium.busy_horizon(self.node_id, now)
+            if horizon > now:
+                delay += horizon - now
+        else:
+            delay = self._backoff_delay()
+            if medium.is_busy(self.node_id, now):
+                delay += medium.busy_until(self.node_id, now) - now
+        self._pending_handle = events.schedule(delay, self._attempt_transmission)
 
     def _attempt_transmission(self) -> None:
         """Fire when the backoff expires: transmit if the medium is still idle."""
-        now = self.sim.now
-        if self.sim.medium.is_busy(self.node_id, now):
+        self._pending_handle = None
+        now = self.events.now
+        if self.medium.is_busy(self.node_id, now):
             # Someone grabbed the channel during our backoff; defer again.
-            self._start_contention()
+            self._start_contention(now)
             return
         frame = self._current_frame
         if frame is None:
-            frame = self.agent.on_transmit_opportunity(now) if self.agent else None
+            agent = self.agent
+            frame = agent.on_transmit_opportunity(now) if agent else None
         if frame is None:
             self.state = MacState.IDLE
             return
@@ -128,60 +178,112 @@ class CsmaMac:
         self.state = MacState.TRANSMITTING
         self._current_frame = frame
         self._attempt += 1
+        agent = self.agent
         bitrate = None
-        if self.agent is not None:
-            bitrate = self.agent.select_bitrate(frame)
+        if agent is not None:
+            bitrate = agent.select_bitrate(frame)
         if bitrate is None:
             bitrate = self.phy.bitrate
-        airtime = self.phy.frame_airtime(frame.size_bytes, bitrate)
-        transmission = self.sim.medium.begin(frame, self.sim.now, airtime, bitrate)
-        if frame.kind.value == "data":
-            self.stats.data_transmissions += 1
+        if self._fast:
+            key = (frame.size_bytes, bitrate)
+            airtime = self._airtimes.get(key)
+            if airtime is None:
+                airtime = self._airtimes[key] = self.phy.frame_airtime(
+                    frame.size_bytes, bitrate)
         else:
-            self.stats.control_transmissions += 1
-        self.stats.busy_time += airtime
-        if self.agent is not None:
-            self.agent.on_transmission_started(frame, self.sim.now)
-        self.sim.schedule(airtime, lambda: self._complete(transmission))
+            airtime = self.phy.frame_airtime(frame.size_bytes, bitrate)
+        now = self.events.now
+        transmission = self.medium.begin(frame, now, airtime, bitrate)
+        stats = self.stats
+        if self._fast:
+            is_data = frame.kind is FrameKind.DATA
+        else:  # reference path: the original string-compare dispatch
+            is_data = frame.kind.value == "data"
+        if is_data:
+            stats.data_transmissions += 1
+        else:
+            stats.control_transmissions += 1
+        stats.busy_time += airtime
+        if agent is not None:
+            agent.on_transmission_started(frame, now)
+        if self._fast:
+            self._inflight = transmission
+            self.events.schedule_callback(airtime, self._complete_inflight)
+        else:
+            self.events.schedule(airtime, lambda: self._complete(transmission))
+
+    def _complete_inflight(self) -> None:
+        """Bound-method completion callback (no per-frame closure)."""
+        transmission = self._inflight
+        self._inflight = None
+        self._complete(transmission)
 
     def _complete(self, transmission: Transmission) -> None:
         """Resolve receptions and run the ARQ logic once the frame leaves the air."""
-        now = self.sim.now
-        receivers = self.sim.medium.complete(transmission, now)
+        now = self.events.now
+        receivers = self.medium.complete(transmission, now)
         frame = transmission.frame
         self.sim.deliver(frame, receivers)
 
-        if frame.is_broadcast:
+        if frame.receiver == BROADCAST:
             self._finish_frame(frame, success=True)
             return
 
         delivered = frame.receiver in receivers
-        turnaround = self.phy.sifs + self.phy.ack_airtime()
+        turnaround = self._turnaround if self._fast \
+            else self.phy.sifs + self.phy.ack_airtime()
         if delivered:
             self.stats.unicast_successes += 1
-            self._defer(turnaround, lambda: self._finish_frame(frame, success=True))
+            if self._fast:
+                self._finish_success = True
+                self._defer(turnaround, self._finish_inflight)
+            else:
+                self._defer(turnaround, lambda: self._finish_frame(frame, success=True))
             return
         # No MAC ACK: retry with a larger contention window or give up.
         self.stats.retries += 1
         if self._attempt > self.phy.retry_limit:
             self.stats.unicast_drops += 1
-            self._defer(turnaround, lambda: self._finish_frame(frame, success=False))
+            if self._fast:
+                self._finish_success = False
+                self._defer(turnaround, self._finish_inflight)
+            else:
+                self._defer(turnaround, lambda: self._finish_frame(frame, success=False))
             return
         self.state = MacState.WAITING_TURNAROUND
-        self.sim.schedule(turnaround, self._start_contention)
+        if self._fast:
+            self.events.schedule_callback(turnaround, self._start_contention)
+        else:
+            self.events.schedule(turnaround, self._start_contention)
 
     def _defer(self, delay: float, action) -> None:
         """Hold the MAC for the virtual ACK turnaround, then continue."""
         self.state = MacState.WAITING_TURNAROUND
-        self.sim.schedule(delay, action)
+        if self._fast:
+            self.events.schedule_callback(delay, action)
+        else:
+            self.events.schedule(delay, action)
+
+    def _finish_inflight(self) -> None:
+        """Bound-method ARQ-finish callback (no per-frame closure)."""
+        self._finish_frame(self._current_frame, self._finish_success)
 
     def _finish_frame(self, frame: Frame, success: bool) -> None:
         """Report the outcome to the agent and look for more work."""
+        # Drop the contention handle of the finished frame: leaving it in
+        # place leaked a stale (already-fired or superseded) handle across
+        # frames, pinning the old event alive and inviting a stale cancel
+        # to be confused with the next frame's contention.
+        handle = self._pending_handle
+        if handle is not None:
+            handle.cancel()
+            self._pending_handle = None
         frame.mac_attempts = self._attempt
         self._current_frame = None
         self._attempt = 0
         self.state = MacState.IDLE
-        if self.agent is not None:
-            self.agent.on_frame_sent(frame, success, self.sim.now)
+        agent = self.agent
+        if agent is not None:
+            agent.on_frame_sent(frame, success, self.events.now)
         # Immediately contend again if the agent still has traffic.
         self.trigger()

@@ -41,7 +41,7 @@ from repro.sim.radio import ChannelConfig
 from repro.topology.graph import Topology
 
 
-@dataclass
+@dataclass(slots=True)
 class Transmission:
     """An in-flight (or recently completed) frame transmission."""
 
@@ -62,7 +62,7 @@ class WirelessMedium:
 
     def __init__(self, topology: Topology, channel: ChannelConfig,
                  rng: np.random.Generator, model: ChannelModel | None = None,
-                 vectorized: bool = True) -> None:
+                 vectorized: bool = True, fast: bool = True) -> None:
         self.topology = topology
         self.channel = channel
         self.rng = rng
@@ -74,10 +74,41 @@ class WirelessMedium:
         # matrix, preserving the original behaviour bit for bit).
         self._delivery = self.model.mean_matrix()
         self._sense = self._build_sense_matrix(self._delivery, channel)
+        # Plain-python sense rows: the per-transmission carrier-sense probes
+        # in is_busy/busy_until are scalar lookups, where list indexing beats
+        # numpy scalar indexing several-fold.
+        self._sense_rows: list[list[bool]] = self._sense.tolist()
+        # Bound draw method: complete() runs once per frame.
+        self._random = rng.random
         self._active: list[Transmission] = []
         self._history: list[Transmission] = []
         self.vectorized = vectorized
+        #: Enables the interference-free static-channel resolution cache
+        #: (disabled under ``SimConfig(engine="legacy")`` so the reference
+        #: engine measures the original per-frame row/eligibility work).
+        self.fast = fast
+        self._static = type(self.model) is StaticBernoulli
+        self._row_indices: list[np.ndarray] = []
+        self._row_probabilities: list[np.ndarray] = []
+        if self._static:
+            # Under a static channel the eligible-receiver set of every
+            # sender never changes: precompute the index gather and the
+            # matching probability row once, leaving one batched RNG draw
+            # plus one comparison per interference-free frame.
+            for sender in range(topology.node_count):
+                row = self._delivery[sender]
+                eligible = row > 0.0
+                eligible[sender] = False
+                indices = np.nonzero(eligible)[0]
+                self._row_indices.append(indices)
+                self._row_probabilities.append(row[indices])
         self._max_airtime = 0.0
+        # (sender, interferer) -> (indices, probabilities, survivable,
+        # capture_possible); lazily built single-interferer resolution
+        # cache for the static channel (see _static_pair).
+        self._pair_cache: dict[tuple[int, int], tuple] = {}
+        # One flag instead of three attribute probes per completed frame.
+        self._fast_static = self.fast and self._static and self.vectorized
         # Statistics.
         self.transmissions = 0
         self.receptions = 0
@@ -117,13 +148,14 @@ class WirelessMedium:
     def is_busy(self, node: int, now: float) -> bool:
         """Carrier-sense outcome at ``node``: True if any audible frame is in the air."""
         self._expire(now)
+        sense = self._sense_rows if self.fast else self._sense
         for transmission in self._active:
             if transmission.end <= now:
                 continue
             sender = transmission.frame.sender
             if sender == node:
                 return True  # we are transmitting ourselves
-            if self._sense[sender, node]:
+            if sense[sender][node]:
                 return True
         return False
 
@@ -131,12 +163,32 @@ class WirelessMedium:
         """Time at which the medium (as sensed by ``node``) becomes idle."""
         self._expire(now)
         latest = now
+        sense = self._sense_rows if self.fast else self._sense
         for transmission in self._active:
             if transmission.end <= now:
                 continue
             sender = transmission.frame.sender
-            if sender == node or self._sense[sender, node]:
+            if sender == node or sense[sender][node]:
                 latest = max(latest, transmission.end)
+        return latest
+
+    def busy_horizon(self, node: int, now: float) -> float:
+        """One-pass fusion of :meth:`is_busy` and :meth:`busy_until`.
+
+        Returns ``now`` when the medium is idle as sensed by ``node``,
+        otherwise the time the last audible transmission ends — saving the
+        MAC a second scan (and a second expiry pass) per contention.
+        """
+        self._expire(now)
+        latest = now
+        sense_rows = self._sense_rows
+        for transmission in self._active:
+            end = transmission.end
+            if end <= now:
+                continue
+            sender = transmission.frame.sender
+            if (sender == node or sense_rows[sender][node]) and end > latest:
+                latest = end
         return latest
 
     def node_is_transmitting(self, node: int, now: float) -> bool:
@@ -164,22 +216,111 @@ class WirelessMedium:
         this one at any point.
         """
         sender = transmission.frame.sender
-        overlapping = [
-            other for other in self._active + self._history
-            if other is not transmission and other.overlaps(transmission)
-        ]
-        probabilities = self.model.delivery_row(sender, transmission.start,
-                                                transmission.end)
+        prune = False
+        if self.fast:
+            # Gather overlapping transmissions without concatenating the
+            # active and history lists (the order — active first, then
+            # history — is load-bearing: capture draws consume RNG state in
+            # list order), comparing the interval bounds inline.  The same
+            # history scan notes whether anything has aged out, so the
+            # prune pass only runs when it will remove something.
+            start = transmission.start
+            end = transmission.end
+            horizon = self.channel.history_horizon
+            if horizon < self._max_airtime:
+                horizon = self._max_airtime
+            cutoff = now - horizon
+            overlapping: list[Transmission] = []
+            for other in self._active:
+                if other is not transmission \
+                        and start < other.end and other.start < end:
+                    overlapping.append(other)
+            for other in self._history:
+                other_end = other.end
+                if other_end < cutoff:
+                    prune = True
+                elif other is not transmission \
+                        and start < other_end and other.start < end:
+                    overlapping.append(other)
+        else:
+            overlapping = [
+                other for other in self._active + self._history
+                if other is not transmission and other.overlaps(transmission)
+            ]
         receivers = None
-        if self.vectorized:
-            receivers = self._resolve_vectorized(sender, probabilities, overlapping)
+        if self._fast_static:
+            if not overlapping:
+                # Interference-free static-channel fast path (the
+                # overwhelmingly common case): the eligible set and
+                # probabilities are precomputed per sender, so one batched
+                # draw — consuming the exact RNG stream of the general path
+                # — resolves the frame.
+                indices = self._row_indices[sender]
+                draws = self._random(indices.size)
+                receivers = indices[draws < self._row_probabilities[sender]].tolist()
+                self.receptions += len(receivers)
+            elif len(overlapping) == 1:
+                other_sender = overlapping[0].frame.sender
+                if other_sender != sender:
+                    receivers = self._resolve_static_pair(sender, other_sender)
         if receivers is None:
-            receivers = self._resolve_scalar(sender, probabilities, overlapping)
+            probabilities = self.model.delivery_row(sender, transmission.start,
+                                                    transmission.end)
+            if self.vectorized:
+                receivers = self._resolve_vectorized(sender, probabilities,
+                                                     overlapping)
+            if receivers is None:
+                receivers = self._resolve_scalar(sender, probabilities, overlapping)
         transmission.receivers = receivers
-        if transmission in self._active:
-            self._active.remove(transmission)
-        self._history.append(transmission)
-        self._prune_history(now)
+        if self.fast:
+            try:
+                self._active.remove(transmission)
+            except ValueError:
+                pass
+            self._history.append(transmission)
+            if prune:
+                self._prune_history(now)
+        else:
+            if transmission in self._active:
+                self._active.remove(transmission)
+            self._history.append(transmission)
+            self._prune_history(now)
+        return receivers
+
+    def _resolve_static_pair(self, sender: int, interferer: int) -> list[int] | None:
+        """One-interferer resolution over the static channel, fully cached.
+
+        The eligible set (minus the half-duplex interferer), its delivery
+        probabilities, the per-receiver corruption mask and whether any
+        receiver could see a capture draw are all pure functions of the
+        (sender, interferer) pair under a static channel — computed once,
+        leaving one batched RNG draw per frame.  Returns ``None`` when a
+        capture draw could occur (the caller falls back to the general
+        path, exactly like :meth:`_resolve_vectorized` does).
+        """
+        entry = self._pair_cache.get((sender, interferer))
+        if entry is None:
+            row = self._delivery[sender]
+            eligible = row > 0.0
+            eligible[sender] = False
+            eligible[interferer] = False
+            indices = np.nonzero(eligible)[0]
+            probabilities = row[indices]
+            levels = self._delivery[interferer][indices]
+            audible = levels > self.channel.interference_threshold
+            capture_possible = bool((audible & (probabilities - levels
+                                                >= self.channel.capture_margin)).any())
+            entry = (indices, probabilities, ~audible, capture_possible)
+            self._pair_cache[(sender, interferer)] = entry
+        indices, probabilities, survivable, capture_possible = entry
+        if capture_possible:
+            return None
+        draws = self._random(indices.size)
+        delivered = draws < probabilities
+        survived = delivered & survivable
+        self.collisions += int(delivered.sum()) - int(survived.sum())
+        receivers = indices[survived].tolist()
+        self.receptions += len(receivers)
         return receivers
 
     def _resolve_vectorized(self, sender: int, probabilities: np.ndarray,
@@ -274,8 +415,15 @@ class WirelessMedium:
 
     def _expire(self, now: float) -> None:
         """Move finished transmissions that were never completed explicitly."""
+        active = self._active
+        if self.fast:
+            for transmission in active:
+                if transmission.end <= now and transmission.receivers:
+                    break
+            else:
+                return  # nothing to move (the common case): no list churn
         still_active = []
-        for transmission in self._active:
+        for transmission in active:
             if transmission.end <= now and transmission.receivers:
                 self._history.append(transmission)
             else:
@@ -327,6 +475,16 @@ class WirelessMedium:
         0.1 s, which both keeps the overlap scan short for ordinary frames
         and stops long frames at low bitrates from outliving the window.
         """
-        horizon = max(self.channel.history_horizon, self._max_airtime)
+        history = self._history
+        horizon = self.channel.history_horizon
+        if horizon < self._max_airtime:
+            horizon = self._max_airtime
         cutoff = now - horizon
-        self._history = [t for t in self._history if t.end >= cutoff]
+        if self.fast:
+            # Rebuild the list only when something actually falls out.
+            for transmission in history:
+                if transmission.end < cutoff:
+                    self._history = [t for t in history if t.end >= cutoff]
+                    return
+        else:
+            self._history = [t for t in history if t.end >= cutoff]

@@ -27,6 +27,10 @@ class SimNode:
     def attach(self, agent: "ProtocolAgent") -> None:
         """Attach a protocol agent to this node."""
         self.agent = agent
+        self.mac.agent = agent  # keep the MAC's cached reference in sync
+        agents = getattr(self.sim, "_agents", None)
+        if agents is not None:  # keep the simulator's delivery table in sync
+            agents[self.node_id] = agent
         agent.bind(self)
 
     def notify_pending(self) -> None:

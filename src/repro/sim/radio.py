@@ -111,6 +111,12 @@ class ChannelConfig:
     history_horizon: float = 0.0
 
 
+#: Engine modes understood by :class:`SimConfig` / the simulator: ``fast``
+#: is the tuple-heap scheduler plus all hot-path fast paths, ``legacy`` the
+#: original implementations kept for differential tests and benchmarking.
+ENGINE_MODES = ("fast", "legacy")
+
+
 @dataclass
 class SimConfig:
     """Top-level simulator configuration.
@@ -120,7 +126,12 @@ class SimConfig:
     ``None`` is the static Bernoulli matrix — the paper's model and the
     pre-refactor behaviour, bit for bit.  ``vectorized_medium`` exists for
     differential testing of the batched reception path against the
-    reference per-node loop.
+    reference per-node loop.  ``engine`` likewise exists for differential
+    testing and benchmarking of the event-engine hot paths: ``legacy``
+    selects the original scheduler plus the original (allocation-heavy)
+    MAC/medium/agent code paths; results are bit-identical either way, the
+    ``fast`` engine is just ≥2x quicker on protocol workloads (see
+    docs/performance.md).
     """
 
     phy: PhyConfig = field(default_factory=PhyConfig)
@@ -133,3 +144,11 @@ class SimConfig:
     #: Resolve receptions with the vectorized fast path (scalar reference
     #: loop when False; results are bit-identical either way).
     vectorized_medium: bool = True
+    #: Event-engine / hot-path selection (``fast`` or ``legacy``; results
+    #: are bit-identical either way).
+    engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_MODES:
+            raise ValueError(f"unknown engine {self.engine!r}; expected one of "
+                             f"{ENGINE_MODES}")

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.sim.events import EventQueue
+from repro.sim.events import (
+    COMPACTION_MIN_CANCELLED,
+    EventQueue,
+    LegacyEventQueue,
+    pump_timer_workload,
+)
 
 
 class TestScheduling:
@@ -118,3 +124,198 @@ class TestCancellation:
         queue = EventQueue()
         handle = queue.schedule(2.5, lambda: None)
         assert handle.time == 2.5
+
+    def test_cancel_after_firing_is_a_noop(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.schedule(1.0, lambda: fired.append("x"))
+        queue.run()
+        assert fired == ["x"]
+        assert not handle.cancelled  # fired, not cancelled
+        handle.cancel()  # must not corrupt the live counter
+        assert queue.empty
+        queue.schedule(1.0, lambda: fired.append("y"))
+        assert not queue.empty
+        queue.run()
+        assert fired == ["x", "y"]
+
+    def test_empty_is_o1_not_a_heap_scan(self):
+        """Lazy cancellation: ``empty`` comes from the live counter while
+        cancelled entries still physically sit in the heap."""
+        queue = EventQueue()
+        handles = [queue.schedule(1.0, lambda: None) for _ in range(10)]
+        for handle in handles:
+            handle.cancel()
+        # Below the compaction threshold nothing is swept, so the heap
+        # still holds every cancelled entry — yet the queue reports empty,
+        # which only a counter (not an any() scan-and-pop) can do in O(1).
+        assert queue.empty
+        assert len(queue._heap) == 10
+        assert queue._live == 0
+        assert queue.run() == 0.0  # draining the corpses fires nothing
+        assert queue.processed == 0
+
+
+class TestCompaction:
+    def test_heap_compacts_when_cancelled_dominate(self):
+        queue = EventQueue()
+        keep = []
+        live = [queue.schedule(float(i + 1), lambda i=i: keep.append(i))
+                for i in range(5)]
+        cancelled = [queue.schedule(10.0 + i, lambda: keep.append(-1))
+                     for i in range(COMPACTION_MIN_CANCELLED + 10)]
+        for handle in cancelled:
+            handle.cancel()
+        # Cancelled entries outnumbered live ones beyond the threshold, so a
+        # compaction pass ran: far fewer entries remain than were scheduled
+        # (only the live ones plus the post-compaction cancellations).
+        assert len(queue._heap) < len(cancelled)
+        assert len(queue._heap) >= len(live)
+        assert not queue.empty
+        fired_before = len(keep)
+        queue.run()
+        assert len(keep) == fired_before + len(live)
+
+    def test_compaction_never_reorders_events(self):
+        queue = EventQueue()
+        fired = []
+        # Interleave survivors (including same-time ties) with victims.
+        for i in range(COMPACTION_MIN_CANCELLED + 20):
+            queue.schedule(1.0 + (i % 3) * 0.5, lambda i=i: fired.append(i))
+        victims = [queue.schedule(0.5, lambda: fired.append(-1))
+                   for _ in range(COMPACTION_MIN_CANCELLED + 20)]
+        for handle in victims:
+            handle.cancel()
+        queue.run()
+        # Survivors fire in (time, insertion-order) sequence: for each of
+        # the three time buckets, indices ascend.
+        assert -1 not in fired
+        buckets = {0: [], 1: [], 2: []}
+        for index in fired:
+            buckets[index % 3].append(index)
+        assert fired == sorted(fired, key=lambda i: ((i % 3), i))
+        for bucket in buckets.values():
+            assert bucket == sorted(bucket)
+
+
+class TestHandleFreeScheduling:
+    def test_schedule_callback_orders_with_handles(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda: fired.append("handle"))
+        queue.schedule_callback(1.0, lambda: fired.append("raw-early"))
+        queue.schedule_callback(2.0, lambda: fired.append("raw-tie"))
+        queue.schedule(2.0, lambda: fired.append("handle-tie"))
+        queue.run()
+        # Ties break by insertion order regardless of entry flavour.
+        assert fired == ["raw-early", "handle", "raw-tie", "handle-tie"]
+        assert queue.processed == 4
+        assert queue.empty
+
+    def test_schedule_callback_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule_callback(-0.5, lambda: None)
+
+
+class TestVersionGatedStopCondition:
+    def test_stop_condition_evaluated_only_on_state_change(self):
+        class Versioned:
+            version = 0
+
+        source = Versioned()
+        queue = EventQueue()
+        evaluations = []
+
+        def bump():
+            source.version += 1
+
+        for i in range(10):
+            queue.schedule(float(i + 1), bump if i % 3 == 0 else (lambda: None))
+
+        def stop():
+            evaluations.append(queue.now)
+            return False
+
+        queue.run(stop_condition=stop, version_source=source)
+        # Bumps happened at t=1, 4, 7, 10: exactly four evaluations.
+        assert evaluations == [1.0, 4.0, 7.0, 10.0]
+
+    def test_gated_stop_halts_at_the_same_event(self):
+        """Gating must stop at the first event after the condition flips."""
+        class Versioned:
+            version = 0
+
+        results = {}
+        for gated in (False, True):
+            source = Versioned()
+            queue = EventQueue()
+            state = {"count": 0}
+
+            def work():
+                state["count"] += 1
+                source.version += 1
+
+            for i in range(10):
+                queue.schedule(float(i + 1), work)
+            stop = lambda: state["count"] >= 4  # noqa: E731
+            end = queue.run(stop_condition=stop,
+                            version_source=source if gated else None)
+            results[gated] = (end, state["count"], queue.processed)
+        assert results[True] == results[False]
+
+
+class TestEngineParity:
+    """The fast queue and the legacy queue dispatch identical sequences."""
+
+    def test_timer_workload_digest_matches_legacy(self):
+        fast = EventQueue()
+        legacy = LegacyEventQueue()
+        digest_fast = pump_timer_workload(fast, events=5_000)
+        digest_legacy = pump_timer_workload(legacy, events=5_000)
+        assert digest_fast == digest_legacy
+        assert fast.now == legacy.now
+        assert fast.processed == legacy.processed
+
+    @pytest.mark.parametrize("seed", (0, 1, 2, 3))
+    def test_random_schedule_cancel_script_matches_legacy(self, seed):
+        """Property-style differential: a random interleaving of schedule /
+        schedule_at / cancel / run steps produces the identical firing
+        sequence (tie-break determinism included) on both queues."""
+        def drive(queue):
+            rng = np.random.default_rng(seed)
+            fired = []
+            handles = []
+            label = 0
+
+            def make(tag):
+                def callback():
+                    fired.append((tag, round(queue.now, 9)))
+                return callback
+
+            for _ in range(300):
+                action = rng.integers(0, 10)
+                if action < 5:
+                    handles.append(queue.schedule(float(rng.uniform(0, 2.0)),
+                                                  make(label)))
+                    label += 1
+                elif action < 7:
+                    # schedule_at clamps times in the past to "now".
+                    at = float(queue.now + rng.uniform(-0.5, 1.5))
+                    handles.append(queue.schedule_at(at, make(label)))
+                    label += 1
+                elif action < 9 and handles:
+                    handles[int(rng.integers(0, len(handles)))].cancel()
+                else:
+                    queue.run(max_events=int(rng.integers(1, 6)))
+            queue.run()
+            return fired
+
+        assert drive(EventQueue()) == drive(LegacyEventQueue())
+
+    def test_schedule_at_clamps_to_now(self):
+        for queue in (EventQueue(), LegacyEventQueue()):
+            fired = []
+            queue.schedule(1.0, lambda: queue.schedule_at(
+                0.25, lambda: fired.append(queue.now)))
+            queue.run()
+            assert fired == [1.0]  # past target fires immediately (clamped)

@@ -134,6 +134,58 @@ class TestCarrierSenseSerialization:
         assert len(a.sent) == 10 and len(b.sent) == 10
 
 
+class TestPendingHandleLifecycle:
+    """Regression: the contention handle must not leak across frames.
+
+    The seed MAC assigned ``_pending_handle`` in ``_start_contention`` but
+    never cancelled or cleared it, so after a frame finished the MAC kept a
+    stale handle to an already-fired (or superseded) event alive; a late
+    ``cancel()`` on it was indistinguishable from cancelling the *next*
+    frame's contention.  ``_finish_frame`` now cancels and clears it.
+    """
+
+    def test_handle_cleared_after_each_frame(self):
+        sim = two_node_sim()
+        sender = ScriptedAgent(0, [data_frame(0) for _ in range(3)])
+        sim.attach_agent(0, sender)
+        sim.attach_agent(1, ScriptedAgent(1))
+        sim.trigger_node(0)
+        mac = sim.nodes[0].mac
+        assert mac._pending_handle is not None  # contention scheduled
+        sim.run(until=1.0)
+        assert len(sender.sent) == 3
+        assert mac._pending_handle is None  # nothing leaks once idle
+
+    def test_stale_handle_cannot_cancel_next_frame(self):
+        """A handle grabbed during frame 1 must be dead by frame 2."""
+        sim = two_node_sim()
+        sender = ScriptedAgent(0, [data_frame(0), data_frame(0)])
+        sim.attach_agent(0, sender)
+        sim.attach_agent(1, ScriptedAgent(1))
+        sim.trigger_node(0)
+        mac = sim.nodes[0].mac
+        stale = mac._pending_handle
+        assert stale is not None
+        # Let the first frame complete; the MAC immediately contends for
+        # the second, creating a fresh handle.
+        sim.run(until=1.0, stop_condition=lambda: len(sender.sent) >= 1)
+        # Cancelling the old frame's handle must not kill frame 2.
+        stale.cancel()
+        sim.run(until=2.0)
+        assert len(sender.sent) == 2
+        assert sim.nodes[0].mac.state is MacState.IDLE
+
+    def test_handle_cleared_on_unicast_drop(self):
+        sim = two_node_sim(delivery=0.0)
+        sender = ScriptedAgent(0, [data_frame(0, receiver=1)])
+        sim.attach_agent(0, sender)
+        sim.attach_agent(1, ScriptedAgent(1))
+        sim.trigger_node(0)
+        sim.run(until=5.0)
+        assert sender.sent[0][1] is False
+        assert sim.nodes[0].mac._pending_handle is None
+
+
 class TestStatsCollector:
     def test_flow_lifecycle(self):
         stats = StatsCollector()
@@ -166,6 +218,36 @@ class TestStatsCollector:
         assert not stats.all_flows_complete()
         stats.record_delivery(2, 1, now=1.0)
         assert stats.all_flows_complete()
+
+    def test_counter_and_scan_agree(self):
+        """The O(1) counter and the reference scan are interchangeable."""
+        stats = StatsCollector()
+        assert stats.all_flows_complete() == stats.all_flows_complete_scan()
+        stats.register_flow(1, 0, 1, total_packets=2, packet_size=10, start_time=0.0)
+        assert stats.all_flows_complete() == stats.all_flows_complete_scan() is False
+        stats.record_delivery(1, 2, now=1.0)
+        assert stats.all_flows_complete() == stats.all_flows_complete_scan() is True
+
+    def test_zero_packet_flow_does_not_break_completion_counter(self):
+        """A flow complete at registration must not drive the counter negative."""
+        stats = StatsCollector()
+        stats.register_flow(1, 0, 1, total_packets=0, packet_size=10, start_time=0.0)
+        assert stats.all_flows_complete()
+        stats.record_delivery(1, 1, now=1.0)  # spurious delivery on a done flow
+        stats.register_flow(2, 1, 0, total_packets=1, packet_size=10, start_time=0.0)
+        assert not stats.all_flows_complete()  # counter must still see flow 2
+        assert stats.all_flows_complete() == stats.all_flows_complete_scan()
+        stats.record_delivery(2, 1, now=2.0)
+        assert stats.all_flows_complete()
+
+    def test_reregistration_does_not_break_completion_counter(self):
+        """Re-registering a flow id replaces the record, not the bookkeeping."""
+        stats = StatsCollector()
+        stats.register_flow(1, 0, 1, total_packets=5, packet_size=10, start_time=0.0)
+        stats.register_flow(1, 0, 1, total_packets=2, packet_size=10, start_time=0.5)
+        stats.record_delivery(1, 2, now=1.0)
+        assert stats.all_flows_complete()
+        assert stats.all_flows_complete() == stats.all_flows_complete_scan()
 
     def test_duplicates_and_transmissions(self):
         stats = StatsCollector()
