@@ -12,9 +12,12 @@
 :mod:`repro.scenarios.presets`) or ``--spec FILE`` (a ScenarioSpec as JSON,
 e.g. from ``show``).  ``--set path=value`` applies one dotted-path override
 (``run.batch_size=16``, ``workload.count=4``, ``channel.mean_bad_time=0.05``);
-``--axis path=v1,v2,...`` adds or replaces a sweep axis (``channel.*`` axes
-sweep channel-model parameters).  ``--channel KIND`` swaps the channel model
-(``static``, ``gilbert_elliott``, ``distance_fading``, ``trace``).  Results are cached as JSON under
+``--axis path=v1,v2,...`` adds or replaces a sweep axis (``channel.*`` /
+``mobility.*`` axes sweep model parameters; ``run.refresh_period`` sweeps
+link-state staleness).  ``--channel KIND`` swaps the channel model
+(``static``, ``gilbert_elliott``, ``distance_fading``, ``trace``) and
+``--mobility KIND`` the dynamic-topology model (``none``, ``link_churn``,
+``random_walk``, ``random_waypoint``).  Results are cached as JSON under
 ``results/<scenario>/`` keyed by a content hash of each cell, so repeated
 invocations only simulate what changed; ``--force`` recomputes.
 
@@ -65,10 +68,13 @@ def _load_spec(args: argparse.Namespace) -> ScenarioSpec:
     else:
         raise SystemExit("error: provide --preset NAME or --spec FILE "
                          "(see `python -m repro list`)")
-    # --channel first: switching kind resets channel params, so the user's
-    # --set channel.<param> overrides must land on the new model.
+    # --channel/--mobility first: switching kind resets the model params, so
+    # the user's --set channel.<param> / mobility.<param> overrides must
+    # land on the new model.
     if getattr(args, "channel", None):
         spec = spec.with_overrides({"channel.kind": args.channel})
+    if getattr(args, "mobility", None):
+        spec = spec.with_overrides({"mobility.kind": args.mobility})
     for assignment in args.set or []:
         path, value = _parse_assignment(assignment)
         spec = spec.with_overrides({path: _parse_value(value)})
@@ -102,6 +108,12 @@ def _add_spec_arguments(parser: argparse.ArgumentParser, sweep: bool) -> None:
                         help="channel model: static, gilbert_elliott, "
                              "distance_fading or trace (tune parameters with "
                              "--set channel.<param>=value)")
+    parser.add_argument("--mobility", metavar="KIND",
+                        help="dynamic-topology model: none, link_churn, "
+                             "random_walk or random_waypoint (tune with "
+                             "--set mobility.<param>=value; pair with "
+                             "--set run.refresh_period=SECONDS for an "
+                             "online control plane)")
     parser.add_argument("--json", action="store_true",
                         help="print the full result as JSON instead of a report")
     if sweep:
@@ -200,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("--spec")
     show.add_argument("--set", action="append", metavar="PATH=VALUE")
     show.add_argument("--channel", metavar="KIND")
+    show.add_argument("--mobility", metavar="KIND")
     show.set_defaults(func=_command_show, axis=None, seeds=None)
 
     run = commands.add_parser("run", help="run one scenario (serial by default)")

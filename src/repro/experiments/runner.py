@@ -9,9 +9,11 @@ the paper reports.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.experiments.refresh import LinkStateRefresher
 from repro.protocols.exor import setup_exor_flow
 from repro.protocols.more import setup_more_flow
 from repro.protocols.srcr import setup_srcr_flow
@@ -24,6 +26,7 @@ from repro.topology.estimation import (
     probe_estimated_topology,
 )
 from repro.topology.graph import Topology
+from repro.topology.mobility import MobilitySpec
 
 #: Protocol names accepted by the runner.
 PROTOCOLS = ("MORE", "ExOR", "Srcr")
@@ -92,10 +95,27 @@ class RunConfig:
     estimation_probes: int = DEFAULT_PROBE_COUNT
     vector_only: bool = False
     channel: dict[str, Any] | None = field(default=None)
+    #: Mobility / link-churn model for a dynamic topology, as a
+    #: :class:`~repro.topology.mobility.MobilitySpec` dict (``None`` =
+    #: static topology, today's behaviour bit for bit).
+    mobility: dict[str, Any] | None = field(default=None)
+    #: Seconds between link-state refreshes: a recurring simulator event
+    #: that re-probes the (possibly moved) topology and rebuilds every
+    #: flow's forwarding plan / forwarder list / route mid-flow.  ``inf``
+    #: (the default) never refreshes — plans are computed once at t=0,
+    #: exactly like the paper's harnesses — which makes staleness a sweep
+    #: axis (``run.refresh_period``).  Accepts the string ``"inf"`` so the
+    #: axis stays plain JSON.
+    refresh_period: float = math.inf
     #: Event-engine / hot-path selection: ``fast`` (default) or ``legacy``
     #: (the pre-optimisation reference; bit-identical results, slower —
     #: see :class:`repro.sim.radio.SimConfig` and docs/performance.md).
     engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        self.refresh_period = float(self.refresh_period)
+        if self.refresh_period <= 0:
+            raise ValueError("refresh_period must be positive (inf = never)")
 
     def channel_spec(self) -> ChannelSpec | None:
         """The channel-model spec for the simulator (``None`` = static)."""
@@ -104,15 +124,29 @@ class RunConfig:
         spec = ChannelSpec.from_dict(self.channel)
         return None if spec.is_static else spec
 
-    def control_view(self, topology: Topology) -> Topology:
-        """The link-quality estimates the routing control plane works from."""
+    def mobility_spec(self) -> MobilitySpec | None:
+        """The mobility spec for the simulator (``None`` = static)."""
+        if self.mobility is None:
+            return None
+        spec = MobilitySpec.from_dict(self.mobility)
+        return None if spec.is_static else spec
+
+    def control_view(self, topology: Topology,
+                     seed: int | tuple[int, ...] | None = None) -> Topology:
+        """The link-quality estimates the routing control plane works from.
+
+        ``seed`` overrides the probe-noise stream (the refresh loop passes
+        ``(run seed, refresh round)`` so every round samples fresh noise);
+        the run seed is the default, and a perfectly informed control plane
+        (exponent 1.0, no probes) returns the topology itself either way.
+        """
         if self.estimation_exponent >= 1.0 and self.estimation_probes == 0:
             return topology
         return probe_estimated_topology(
             topology,
             optimism_exponent=self.estimation_exponent,
             probe_count=self.estimation_probes,
-            seed=self.seed,
+            seed=self.seed if seed is None else seed,
         )
 
 
@@ -120,6 +154,7 @@ def _make_simulator(topology: Topology, config: RunConfig, bitrate: int | None =
     phy = PhyConfig(bitrate=bitrate if bitrate is not None else config.bitrate)
     sim_config = SimConfig(phy=phy, seed=config.seed, max_duration=config.max_duration,
                            channel_model=config.channel_spec(),
+                           mobility=config.mobility_spec(),
                            engine=config.engine)
     return Simulator(topology, sim_config)
 
@@ -127,7 +162,7 @@ def _make_simulator(topology: Topology, config: RunConfig, bitrate: int | None =
 def _install_flow(sim: Simulator, topology: Topology, protocol: str, source: int,
                   destination: int, config: RunConfig, flow_seed: int,
                   control_topology: Topology | None = None):
-    """Install one flow of the requested protocol; returns its flow id."""
+    """Install one flow of the requested protocol; returns its handle."""
     if protocol == "MORE":
         # vector_only supersedes the configured coding payload width (the
         # whole point of the mode is a zero-byte payload).
@@ -143,7 +178,7 @@ def _install_flow(sim: Simulator, topology: Topology, protocol: str, source: int
             seed=flow_seed,
             control_topology=control_topology,
         )
-        return handle.flow_id
+        return handle
     if protocol == "ExOR":
         handle = setup_exor_flow(
             sim, topology, source, destination,
@@ -152,7 +187,7 @@ def _install_flow(sim: Simulator, topology: Topology, protocol: str, source: int
             packet_size=config.packet_size,
             control_topology=control_topology,
         )
-        return handle.flow_id
+        return handle
     if protocol == "Srcr":
         handle = setup_srcr_flow(
             sim, topology, source, destination,
@@ -161,7 +196,7 @@ def _install_flow(sim: Simulator, topology: Topology, protocol: str, source: int
             use_autorate=config.srcr_autorate,
             control_topology=control_topology,
         )
-        return handle.flow_id
+        return handle
     raise ValueError(f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}")
 
 
@@ -174,12 +209,17 @@ def run_flows(topology: Topology, protocol: str, pairs: list[tuple[int, int]],
     run_config = config if config is not None else RunConfig()
     sim = _make_simulator(topology, run_config, bitrate=bitrate)
     control = run_config.control_view(topology)
-    flow_ids = []
+    handles = []
     for index, (source, destination) in enumerate(pairs):
-        flow_ids.append(
+        handles.append(
             _install_flow(sim, topology, protocol, source, destination, run_config,
                           flow_seed=run_config.seed + index, control_topology=control)
         )
+    flow_ids = [handle.flow_id for handle in handles]
+    # Online control plane: with a finite refresh_period, re-probe the
+    # (possibly moved) topology mid-flow and rebuild every flow's plan.
+    # refresh_period=inf schedules nothing — bit-identical static plans.
+    LinkStateRefresher(sim, handles, run_config).install()
     sim.run(until=run_config.max_duration,
             stop_condition=sim.stats.all_flows_complete)
     results = []

@@ -199,7 +199,11 @@ def prune_forwarders(topology: Topology, plan: TransmissionPlan,
     """Drop forwarders whose expected transmissions are below ``fraction`` of the total.
 
     The source and destination are never pruned.  Credits are recomputed over
-    the surviving participants so the run-time behaviour stays consistent.
+    the surviving participants so the run-time behaviour stays consistent, and
+    pruned nodes also lose their metric distance (set to ``inf``): the
+    returned plan is self-consistent, so a "participant" check keyed off
+    finite distances agrees with ``participants`` instead of resurrecting
+    pruned forwarders.
     """
     total = plan.z.sum()
     if total <= 0.0:
@@ -212,16 +216,18 @@ def prune_forwarders(topology: Topology, plan: TransmissionPlan,
             keep.append(node)
     pruned_z = plan.z.copy()
     pruned_load = plan.load.copy()
+    pruned_distances = plan.distances.copy()
     for node in plan.participants:
         if node not in keep:
             pruned_z[node] = 0.0
             pruned_load[node] = 0.0
+            pruned_distances[node] = math.inf
     credits = tx_credits(topology, keep, pruned_z)
     return TransmissionPlan(
         source=plan.source,
         destination=plan.destination,
         participants=keep,
-        distances=plan.distances,
+        distances=pruned_distances,
         z=pruned_z,
         load=pruned_load,
         tx_credit=credits,

@@ -47,6 +47,12 @@ EXOR_BASE_HEADER_BYTES = 24
 DEFAULT_COMPLETION_THRESHOLD = 0.9
 #: Bytes of a cleanup-request / batch-ACK control frame.
 CONTROL_SIZE_BYTES = 40
+#: Rank assigned to a node dropped from the participant list by a
+#: link-state refresh: far outside the batch-map value range, so the node
+#: can never claim responsibility for (or lower the map entry of) any
+#: packet again.
+INERT_RANK = 1 << 20
+
 #: Guard time inserted between forwarder turns.  Real ExOR cannot hand the
 #: schedule over explicitly: each forwarder estimates when its predecessor
 #: will finish from the batch map and a rate guess, and pads the estimate to
@@ -85,6 +91,11 @@ class ExorFlowSpec:
             ranks = self._rank_map = {node: position
                                       for position, node in enumerate(self.participants)}
         return ranks.get(node_id)
+
+    def invalidate_plan_caches(self) -> None:
+        """Drop the memoised rank map after a link-state refresh rebuilt
+        ``participants`` / ``forward_route`` / ``reverse_route`` in place."""
+        self._rank_map = None
 
     def data_frame_size(self) -> int:
         """On-air size of an ExOR data frame (payload + header + batch map)."""
@@ -192,7 +203,14 @@ class ExorScheduler:
         if self.active and self.batch_id == batch_epoch:
             self._grant(position)
 
+    def notice_participants_changed(self) -> None:
+        """Clamp the schedule position after a refresh resized the list."""
+        self._position = min(self._position, len(self.spec.participants) - 1)
+
     def _grant(self, position: int) -> None:
+        # A deferred grant scheduled before a link-state refresh may carry a
+        # position beyond the refreshed (shorter) participant list.
+        position = min(position, len(self.spec.participants) - 1)
         self._position = position
         self.holder = self.spec.participants[position]
         agent = self.sim.nodes[self.holder].agent
@@ -231,6 +249,27 @@ class _ExorFlowState:
     def merge_map(self, other_map: np.ndarray) -> None:
         """Merge a heard batch map into the local one (element-wise min)."""
         np.minimum(self.batch_map, other_map, out=self.batch_map)
+
+    def refresh_rank(self, rank: int) -> None:
+        """Re-anchor the batch-map view after a plan refresh changed ranks.
+
+        Map entries written under the old rank numbering would otherwise
+        orphan packets: an entry naming a rank nobody holds any more is
+        claimed by no ``responsibility()`` check and only ever decreases,
+        stalling the batch.  Two conservative rewrites fix that: entries
+        beyond the (possibly shrunken) participant list fall back to the
+        source's rank — the source holds every packet of the batch, so it
+        can always re-serve them — and this node re-claims its own
+        holdings at its new rank.  Both can only cause duplicate
+        transmissions (which ExOR dedups), never a stall.
+        """
+        self.rank = rank
+        highest = len(self.spec.participants) - 1
+        np.minimum(self.batch_map, highest, out=self.batch_map)
+        batch_map = self.batch_map
+        for index in self.packets_received(self.batch_id):
+            if index < batch_map.shape[0] and batch_map[index] > rank:
+                batch_map[index] = rank
 
     def note_reception(self, packet_index: int, batch_id: int) -> bool:
         """Record a received packet; returns True if it is new to this node."""
@@ -294,6 +333,35 @@ class ExorAgent(ProtocolAgent):
         if self.node_id == spec.destination:
             self.destination_done[spec.flow_id] = set()
             self.cleanup_requested[spec.flow_id] = set()
+
+    def adopt_flow(self, spec: ExorFlowSpec, scheduler: ExorScheduler) -> None:
+        """Idempotent :meth:`install_flow` for mid-flow plan refreshes.
+
+        Newly recruited participants get fresh per-flow state; nodes that
+        already track the flow keep their transfer progress (source batch
+        counter, destination ACK bookkeeping) and only have their priority
+        rank re-derived from the refreshed participant list.
+        """
+        self.specs[spec.flow_id] = spec
+        self.schedulers[spec.flow_id] = scheduler
+        rank = spec.rank(self.node_id)
+        state = self.flows.get(spec.flow_id)
+        if rank is not None:
+            if state is None:
+                self.flows[spec.flow_id] = _ExorFlowState(spec, rank)
+            else:
+                state.refresh_rank(rank)
+        elif state is not None:
+            # Dropped from the forwarder set: the node keeps its received
+            # packets but must never claim responsibility again — an inert
+            # rank beyond the batch-map value range guarantees that (any
+            # in-range value could collide with a stale map entry).
+            state.rank = INERT_RANK
+        if self.node_id == spec.source:
+            self.source_progress.setdefault(spec.flow_id, 0)
+        if self.node_id == spec.destination:
+            self.destination_done.setdefault(spec.flow_id, set())
+            self.cleanup_requested.setdefault(spec.flow_id, set())
 
     def start_flow(self, flow_id: int) -> None:
         """Source-side kick-off: load batch 0 and start the schedule."""

@@ -92,6 +92,18 @@ class MoreFlowSpec:
     _header_forwarders: list[ForwarderEntry] | None = field(default=None, init=False,
                                                             repr=False, compare=False)
 
+    def invalidate_plan_caches(self) -> None:
+        """Drop the memoised per-flow constants after a plan refresh.
+
+        The link-state refresh loop mutates ``forwarders`` / ``tx_credit``
+        / ``distances`` / ``ack_route`` in place (the spec object is shared
+        by every agent of the flow); the memoised header size and forwarder
+        sets must be recomputed from the new plan.
+        """
+        self._header_size = None
+        self._forwarder_id_set = None
+        self._header_forwarders = None
+
     def header_size(self) -> int:
         """Size of the MORE data header for this flow (computed once)."""
         size = self._header_size
@@ -207,14 +219,24 @@ class _ForwarderState:
         self.node_id = node_id
         self.rng = rng
         self.fast = fast
-        self.tx_credit = spec.tx_credit.get(node_id, 0.0)
         self.credit = 0.0
         self.current_batch = 0
         self.encoder: ForwarderEncoder | None = None
+        self.refresh_from_spec()
+
+    def refresh_from_spec(self) -> None:
+        """(Re)derive the cached per-node plan constants from the spec.
+
+        Called at construction and again by the link-state refresh loop
+        after the shared spec's plan fields were rebuilt mid-flow.
+        """
+        spec = self.spec
+        node_id = self.node_id
+        self.tx_credit = spec.tx_credit.get(node_id, 0.0)
         # The senders whose packets count as "from upstream" for this node
-        # (strictly greater ETX distance to the destination) never change
-        # per flow: one frozenset probe replaces two dict probes plus a
-        # float comparison per heard data frame.
+        # (strictly greater ETX distance to the destination) only change
+        # when the plan is refreshed: one frozenset probe replaces two dict
+        # probes plus a float comparison per heard data frame.
         mine = spec.distances.get(node_id)
         if mine is None:
             self.upstream_senders: frozenset[int] = frozenset()

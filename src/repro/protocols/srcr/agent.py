@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.metrics.etx import best_path
 from repro.protocols.base import ProtocolAgent
@@ -44,11 +44,15 @@ class SrcrFlowSpec:
     packet_size: int
     total_packets: int
     bitrate: int | None = None
+    #: Per-node next hops for relays stranded off the main route by a
+    #: link-state refresh (node -> next hop toward the destination).
+    #: Rebuilt on every refresh; empty for static (never-refreshed) flows.
+    detours: dict[int, int] = field(default_factory=dict)
 
     def next_hop(self, node_id: int) -> int | None:
-        """Next hop after ``node_id`` on the route, or None."""
+        """Next hop after ``node_id`` on the route (or its detour), or None."""
         if node_id not in self.route:
-            return None
+            return self.detours.get(node_id)
         index = self.route.index(node_id)
         if index + 1 >= len(self.route):
             return None
@@ -111,20 +115,26 @@ class SrcrAgent(ProtocolAgent):
         if not flow_ids:
             return None
         self._round_robin = (self._round_robin + 1) % len(flow_ids)
-        flow_id = flow_ids[self._round_robin]
-        spec = self.specs[flow_id]
-        next_hop = spec.next_hop(self.node_id)
-        if next_hop is None:
-            return None
-        sequence = self.queues[flow_id][0]
-        return Frame(
-            sender=self.node_id,
-            receiver=next_hop,
-            kind=FrameKind.DATA,
-            flow_id=flow_id,
-            size_bytes=spec.frame_size(),
-            payload=SrcrDataPayload(flow_id=flow_id, sequence=sequence),
-        )
+        # A flow can lack a next hop here when a link-state refresh moved
+        # its route away and no detour exists yet; skip it rather than
+        # give up the opportunity, or co-resident flows with a perfectly
+        # good next hop would starve until something re-triggers the MAC.
+        for offset in range(len(flow_ids)):
+            flow_id = flow_ids[(self._round_robin + offset) % len(flow_ids)]
+            spec = self.specs[flow_id]
+            next_hop = spec.next_hop(self.node_id)
+            if next_hop is None:
+                continue
+            sequence = self.queues[flow_id][0]
+            return Frame(
+                sender=self.node_id,
+                receiver=next_hop,
+                kind=FrameKind.DATA,
+                flow_id=flow_id,
+                size_bytes=spec.frame_size(),
+                payload=SrcrDataPayload(flow_id=flow_id, sequence=sequence),
+            )
+        return None
 
     def select_bitrate(self, frame: Frame) -> int | None:
         spec = self.specs.get(frame.flow_id)

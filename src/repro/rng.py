@@ -1,0 +1,19 @@
+"""Counter-based randomness helpers shared by the channel and mobility layers.
+
+Both subsystems derive per-(entity, counter) uniforms that are a pure
+function of their inputs — the numpy equivalent of a counter-based PRNG —
+so realisations never depend on query order.  The mixer lives here, in one
+place, so the two layers cannot silently diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def splitmix64(values: np.ndarray) -> np.ndarray:
+    """SplitMix64 finaliser: a vectorised counter-based uint64 mixer."""
+    z = (values + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))

@@ -13,10 +13,12 @@ from repro.scenarios.build import (
     WORKLOAD_KINDS,
     build_channel,
     build_flow_sets,
+    build_mobility,
     build_pairs,
     build_topology,
 )
 from repro.sim.channels import ChannelSpec
+from repro.topology.mobility import MOBILITY_KINDS, MobilitySpec
 from repro.scenarios.execute import CellResult, run_cell, run_cell_dict
 from repro.scenarios.presets import PRESETS, get_preset, list_presets, register
 from repro.scenarios.spec import (
@@ -33,7 +35,9 @@ __all__ = [
     "CellResult",
     "ChannelSpec",
     "MIN_BATCHES_PER_TRANSFER",
+    "MOBILITY_KINDS",
     "MODES",
+    "MobilitySpec",
     "PRESETS",
     "ScenarioCell",
     "ScenarioSpec",
@@ -43,6 +47,7 @@ __all__ = [
     "WorkloadSpec",
     "build_channel",
     "build_flow_sets",
+    "build_mobility",
     "build_pairs",
     "build_topology",
     "get_preset",

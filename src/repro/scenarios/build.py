@@ -26,6 +26,11 @@ from repro.sim.channels import (
     build_channel_model,
 )
 from repro.scenarios.spec import TopologySpec, WorkloadSpec
+from repro.topology.mobility import (
+    MobilityModel,
+    MobilitySpec,
+    build_mobility_model,
+)
 from repro.topology.generator import (
     chain,
     cost_gap_topology,
@@ -69,6 +74,22 @@ def build_channel(spec: ChannelSpec, topology: Topology,
     """
     model = build_channel_model(spec, seed=default_seed)
     model.bind(topology)
+    return model
+
+
+def build_mobility(spec: MobilitySpec, topology: Topology,
+                   default_seed: int = 0) -> MobilityModel | None:
+    """Instantiate (and bind) the mobility process a spec describes.
+
+    ``default_seed`` (the cell seed) drives the model's private RNG stream
+    unless the mobility params pin their own ``seed``.  Returns ``None``
+    for a static spec.  The experiment runner builds its process through
+    :class:`~repro.sim.radio.SimConfig`; this helper serves tests and
+    ad-hoc studies working with a bare topology.
+    """
+    model = build_mobility_model(spec, seed=default_seed)
+    if model is not None:
+        model.bind(topology)
     return model
 
 

@@ -16,6 +16,7 @@ import copy
 from repro.scenarios.spec import ScenarioSpec, TopologySpec, WorkloadSpec
 from repro.sim.channels import ChannelSpec
 from repro.sim.radio import RATE_11MBPS
+from repro.topology.mobility import MobilitySpec
 
 #: The synthetic 20-node, 3-floor indoor testbed of every Chapter 4 figure
 #: (``repro.experiments.figures.default_testbed``).
@@ -262,6 +263,58 @@ register(ScenarioSpec(
     }),
     run={"total_packets": 48},
     seeds=(1,),
+))
+
+# --------------------------------------------------------------------------- #
+# Dynamic topologies: mobility / link churn + online link-state refresh
+# (see repro.topology.mobility and repro.experiments.refresh)
+# --------------------------------------------------------------------------- #
+
+register(ScenarioSpec(
+    name="mobile_mesh",
+    description="Random-waypoint mobility over a 16-node geometric mesh with "
+                "a 1 s link-state refresh loop (online control plane)",
+    topology=TopologySpec("random_geometric", {"node_count": 16, "area": 120.0,
+                                               "seed": 2}),
+    workload=WorkloadSpec("random_pairs", {"count": 4}),
+    mobility=MobilitySpec("random_waypoint", {"speed_min": 1.0, "speed_max": 6.0,
+                                              "epoch_length": 0.5,
+                                              "area": 120.0}),
+    run={"total_packets": 96, "coding_payload_size": 16, "refresh_period": 1.0,
+         "max_duration": 60.0},
+    seeds=(1,),
+))
+
+register(ScenarioSpec(
+    name="churn_chain",
+    description="Markov link churn (up/down flapping) on a lossy 4-hop chain "
+                "with a 0.75 s link-state refresh loop",
+    topology=TopologySpec("chain", {"hops": 4, "link_delivery": 0.75,
+                                    "skip_delivery": 0.25}),
+    workload=WorkloadSpec("explicit", {"pairs": [[0, 4]]}),
+    mobility=MobilitySpec("link_churn", {"mean_up_time": 2.0,
+                                         "mean_down_time": 0.5,
+                                         "down_scale": 0.1,
+                                         "epoch_length": 0.25}),
+    run={"total_packets": 96, "packet_size": 512, "coding_payload_size": 16,
+         "refresh_period": 0.75, "max_duration": 60.0},
+    seeds=(1,),
+))
+
+register(ScenarioSpec(
+    name="stale_state_sweep",
+    description="Link-state staleness axis under mobility: MORE vs ExOR vs "
+                "Srcr as plans age (sweep run.refresh_period; inf = the "
+                "paper's compute-once plans)",
+    topology=TopologySpec("random_geometric", {"node_count": 16, "area": 120.0,
+                                               "seed": 2}),
+    workload=WorkloadSpec("random_pairs", {"count": 3}),
+    mobility=MobilitySpec("random_waypoint", {"speed_min": 1.0, "speed_max": 6.0,
+                                              "epoch_length": 0.5,
+                                              "area": 120.0}),
+    run={"total_packets": 192, "coding_payload_size": 16, "max_duration": 60.0},
+    seeds=(1,),
+    sweep={"run.refresh_period": (0.5, 2.0, 8.0, "inf")},
 ))
 
 register(ScenarioSpec(

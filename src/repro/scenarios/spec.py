@@ -26,6 +26,7 @@ from typing import Any
 
 from repro.experiments.runner import PROTOCOLS, RunConfig
 from repro.sim.channels import CHANNEL_MODELS, ChannelSpec
+from repro.topology.mobility import MOBILITY_KINDS, MobilitySpec
 
 #: Execution modes understood by :func:`repro.scenarios.execute.run_cell`.
 MODES = ("throughput", "multiflow", "gap")
@@ -67,6 +68,18 @@ def _apply_dotted(spec: "ScenarioSpec", path: str, value: Any) -> None:
                 spec.channel = ChannelSpec(kind=value)
         else:
             spec.channel.params[rest] = value
+    elif head == "mobility":
+        # Same conventions as `channel`: a bare kind (or `mobility.kind`)
+        # switches the model and resets stale params; `mobility.<param>`
+        # sets one parameter, so mobility axes are sweepable too.
+        if not rest or rest == "kind":
+            if value not in MOBILITY_KINDS:
+                raise ValueError(f"unknown mobility kind {value!r}; expected "
+                                 f"one of {MOBILITY_KINDS}")
+            if value != spec.mobility.kind:
+                spec.mobility = MobilitySpec(kind=value)
+        else:
+            spec.mobility.params[rest] = value
     elif head == "protocols" and not rest:
         # A bare string means one protocol, not a tuple of its characters.
         spec.protocols = (value,) if isinstance(value, str) else tuple(value)
@@ -75,7 +88,7 @@ def _apply_dotted(spec: "ScenarioSpec", path: str, value: Any) -> None:
     else:
         raise ValueError(
             f"unsupported override path {path!r}; expected run.*, topology.*, "
-            "workload.*, channel.*, protocols or mode"
+            "workload.*, channel.*, mobility.*, protocols or mode"
         )
 
 
@@ -139,6 +152,12 @@ class ScenarioSpec:
             (:class:`~repro.sim.channels.ChannelSpec`); defaults to the
             static Bernoulli delivery matrix.  The cell seed drives the
             channel RNG stream unless ``channel.params.seed`` pins one.
+        mobility: the dynamic-topology process
+            (:class:`~repro.topology.mobility.MobilitySpec`); defaults to
+            a static topology.  Same seeding convention as ``channel``.
+            Pair with a finite ``run.refresh_period`` for an online
+            control plane (a plan refreshed mid-flow), or leave it at
+            ``inf`` to study stale plans.
         protocols: protocol tokens; plain names (``MORE``, ``ExOR``,
             ``Srcr``) or variants such as ``Srcr/auto`` (Srcr with Onoe-style
             autorate, the Figure 4-6 baseline).
@@ -160,6 +179,7 @@ class ScenarioSpec:
     protocols: tuple[str, ...] = PROTOCOLS
     mode: str = "throughput"
     channel: ChannelSpec = field(default_factory=ChannelSpec)
+    mobility: MobilitySpec = field(default_factory=MobilitySpec)
     run: dict[str, Any] = field(default_factory=dict)
     seeds: tuple[int, ...] = (1,)
     sweep: dict[str, tuple] = field(default_factory=dict)
@@ -174,6 +194,11 @@ class ScenarioSpec:
         if self.channel.kind not in CHANNEL_MODELS:
             raise ValueError(f"unknown channel kind {self.channel.kind!r}; "
                              f"expected one of {sorted(CHANNEL_MODELS)}")
+        if isinstance(self.mobility, dict):
+            self.mobility = MobilitySpec.from_dict(self.mobility)
+        if self.mobility.kind not in MOBILITY_KINDS:
+            raise ValueError(f"unknown mobility kind {self.mobility.kind!r}; "
+                             f"expected one of {MOBILITY_KINDS}")
         self.protocols = tuple(self.protocols)
         self.seeds = tuple(int(s) for s in self.seeds)
         self.sweep = {path: tuple(values) for path, values in self.sweep.items()}
@@ -189,6 +214,7 @@ class ScenarioSpec:
             "protocols": list(self.protocols),
             "mode": self.mode,
             "channel": self.channel.to_dict(),
+            "mobility": self.mobility.to_dict(),
             "run": dict(self.run),
             "seeds": list(self.seeds),
             "sweep": {path: list(values) for path, values in self.sweep.items()},
@@ -208,6 +234,7 @@ class ScenarioSpec:
             protocols=data.get("protocols", PROTOCOLS),  # __post_init__ normalises
             mode=data.get("mode", "throughput"),
             channel=ChannelSpec.from_dict(data.get("channel", {"kind": "static"})),
+            mobility=MobilitySpec.from_dict(data.get("mobility", {"kind": "none"})),
             run=dict(data.get("run", {})),
             seeds=tuple(data.get("seeds", (1,))),
             sweep={path: tuple(vals) for path, vals in data.get("sweep", {}).items()},
@@ -246,6 +273,8 @@ class ScenarioSpec:
             values.setdefault("seed", int(seed))
         if not self.channel.is_static:
             values.setdefault("channel", self.channel.to_dict())
+        if not self.mobility.is_static:
+            values.setdefault("mobility", self.mobility.to_dict())
         config = RunConfig(**values)
         config.total_packets = max(config.total_packets,
                                    MIN_BATCHES_PER_TRANSFER * config.batch_size)

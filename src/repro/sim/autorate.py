@@ -33,11 +33,20 @@ class _NeighborRateState:
     frames: int = 0
     retries: int = 0
     drops: int = 0
+    #: Start of the neighbour's current observation window, anchored at its
+    #: first recorded frame (``None`` until then).
+    window_start: float | None = None
 
 
 @dataclass
 class OnoeRateController:
     """Credit-based rate selection, one instance per sending node.
+
+    Each neighbour's observation window is anchored at its own first
+    recorded frame and evaluated on its own period.  (A single shared
+    window anchored at t=0 let the first window close immediately and had
+    an idle neighbour's handful of frames judged against a window opened —
+    and closed — by some *other* neighbour's traffic.)
 
     Args:
         period: observation window in seconds.
@@ -49,7 +58,6 @@ class OnoeRateController:
     credits_to_raise: int = 10
     initial_rate: int = SUPPORTED_RATES[-1]
     _neighbors: dict[int, _NeighborRateState] = field(default_factory=dict)
-    _last_update: float = 0.0
 
     def _state(self, neighbor: int) -> _NeighborRateState:
         if neighbor not in self._neighbors:
@@ -65,33 +73,34 @@ class OnoeRateController:
     def record_result(self, neighbor: int, success: bool, retries: int, now: float) -> None:
         """Record the outcome of one unicast frame toward ``neighbor``."""
         state = self._state(neighbor)
+        if state.window_start is None:
+            state.window_start = now
         state.frames += 1
         state.retries += retries
         if not success:
             state.drops += 1
-        if now - self._last_update >= self.period:
-            self._evaluate_all()
-            self._last_update = now
+        if now - state.window_start >= self.period:
+            self._evaluate(state)
+            state.window_start = now
 
-    def _evaluate_all(self) -> None:
-        """End-of-period evaluation for every neighbour (Onoe decision rules)."""
-        for state in self._neighbors.values():
-            if state.frames == 0:
-                continue
-            avg_retries = state.retries / state.frames
-            drop_fraction = state.drops / state.frames
-            if drop_fraction > 0.5 or avg_retries >= 2.0:
-                # Heavy loss: step down immediately and reset credits.
-                state.rate_index = max(0, state.rate_index - 1)
+    def _evaluate(self, state: _NeighborRateState) -> None:
+        """End-of-period evaluation for one neighbour (Onoe decision rules)."""
+        if state.frames == 0:
+            return
+        avg_retries = state.retries / state.frames
+        drop_fraction = state.drops / state.frames
+        if drop_fraction > 0.5 or avg_retries >= 2.0:
+            # Heavy loss: step down immediately and reset credits.
+            state.rate_index = max(0, state.rate_index - 1)
+            state.credits = 0
+        elif avg_retries >= 1.0:
+            # Mediocre period: lose a credit but hold the rate.
+            state.credits = max(0, state.credits - 1)
+        else:
+            state.credits += 1
+            if state.credits >= self.credits_to_raise:
+                state.rate_index = min(len(SUPPORTED_RATES) - 1, state.rate_index + 1)
                 state.credits = 0
-            elif avg_retries >= 1.0:
-                # Mediocre period: lose a credit but hold the rate.
-                state.credits = max(0, state.credits - 1)
-            else:
-                state.credits += 1
-                if state.credits >= self.credits_to_raise:
-                    state.rate_index = min(len(SUPPORTED_RATES) - 1, state.rate_index + 1)
-                    state.credits = 0
-            state.frames = 0
-            state.retries = 0
-            state.drops = 0
+        state.frames = 0
+        state.retries = 0
+        state.drops = 0

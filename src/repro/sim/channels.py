@@ -48,6 +48,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.rng import splitmix64 as _splitmix64
 from repro.topology import generator as _propagation
 from repro.topology.generator import margin_to_delivery, path_loss_margin_db
 from repro.topology.graph import Topology
@@ -113,6 +114,18 @@ class ChannelModel:
     def _prepare(self) -> None:
         """Subclass hook: build per-link state after ``bind``."""
 
+    def update_base(self, delivery: np.ndarray,
+                    positions: np.ndarray | None = None) -> None:
+        """Adopt a new nominal matrix mid-run (dynamic-topology hook).
+
+        The medium calls this at every mobility epoch boundary with the
+        epoch's effective delivery matrix and, for position-based mobility,
+        the epoch's node coordinates.  The default keeps any per-link
+        channel state (e.g. Gilbert-Elliott chains) running across the
+        update — churn in nominal quality composes with burstiness.
+        """
+        self._base = np.asarray(delivery, dtype=float)
+
     def delivery_row(self, sender: int, start: float, end: float) -> np.ndarray:
         """Delivery probabilities from ``sender`` to every node for one frame.
 
@@ -141,19 +154,6 @@ class StaticBernoulli(ChannelModel):
         return self._base[sender]
 
 
-def _splitmix64(values: np.ndarray) -> np.ndarray:
-    """SplitMix64 finaliser: a vectorised counter-based uint64 mixer.
-
-    Used to derive per-(link, draw-index) uniforms that are a pure function
-    of their counter — the numpy equivalent of a counter-based PRNG — so a
-    channel realisation never depends on the order links are queried in.
-    """
-    z = (values + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
-    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-    return z ^ (z >> np.uint64(31))
-
-
 class GilbertElliott(ChannelModel):
     """Two-state bursty loss per directed link (Gilbert-Elliott).
 
@@ -166,7 +166,8 @@ class GilbertElliott(ChannelModel):
     the nominal matrix.
 
     The k-th holding time of each link comes from a counter-based uniform
-    (:func:`_splitmix64` of ``(seed, link, k)``), so every link's whole
+    (:func:`repro.rng.splitmix64` of ``(seed, link, k)``), so every link's
+    whole
     trajectory is a pure function of the seed: the state at time ``t``
     never depends on how often — or in what interleaving with other
     senders' rows — the model was queried, which keeps back-to-back
@@ -313,7 +314,7 @@ class DistanceFading(ChannelModel):
 
     def _prepare(self) -> None:
         positions = [node.position for node in self.topology.nodes]
-        if any(len(position) < 2 for position in positions):
+        if any(position is None or len(position) < 2 for position in positions):
             raise ValueError(
                 "distance_fading needs node coordinates; this topology has none "
                 "(use a grid / indoor_testbed / random_geometric topology)")
@@ -321,6 +322,10 @@ class DistanceFading(ChannelModel):
         coords = np.zeros((count, 3))
         for index, position in enumerate(positions):
             coords[index, :len(position)] = position[:3]
+        self._set_coordinates(coords)
+
+    def _set_coordinates(self, coords: np.ndarray) -> None:
+        """(Re)derive the static margins from node coordinates."""
         deltas = coords[:, None, :] - coords[None, :, :]
         distance = np.sqrt((deltas ** 2).sum(axis=2))
         self._margin0 = path_loss_margin_db(
@@ -330,6 +335,19 @@ class DistanceFading(ChannelModel):
         np.fill_diagonal(self._margin0, -np.inf)
         self._block = -1
         self._matrix = np.zeros_like(self._margin0)
+
+    def update_base(self, delivery: np.ndarray,
+                    positions: np.ndarray | None = None) -> None:
+        """Mobility hook: fading reads the epoch's node positions.
+
+        The shadowing of block k stays a pure function of ``(seed, k)``;
+        only the distance-derived margins move with the nodes.
+        """
+        super().update_base(delivery, positions)
+        if positions is None:
+            raise ValueError("distance_fading under mobility needs a "
+                             "position-based mobility model")
+        self._set_coordinates(np.asarray(positions, dtype=float))
 
     def _margin_to_delivery(self, margin_db: np.ndarray) -> np.ndarray:
         return margin_to_delivery(margin_db, logistic_scale=self.logistic_scale,
@@ -418,6 +436,7 @@ class TraceDriven(ChannelModel):
         # One delivery matrix per trace step; untraced links hold the
         # nominal value, short series hold their last sample.
         self._stack = np.repeat(self._base[None, :, :], steps, axis=0)
+        self._traced = np.zeros((count, count), dtype=bool)
         for key, values in self.series.items():
             sender, receiver = self._parse_link(key, count)
             samples = np.asarray(list(values), dtype=float)
@@ -427,6 +446,16 @@ class TraceDriven(ChannelModel):
             padded = np.full(steps, samples[-1])
             padded[:samples.size] = samples
             self._stack[:, sender, receiver] = padded
+            self._traced[sender, receiver] = True
+
+    def update_base(self, delivery: np.ndarray,
+                    positions: np.ndarray | None = None) -> None:
+        """Mobility hook: untraced links follow the churned topology while
+        traced links keep replaying their series — only the untraced stack
+        entries are rewritten (no per-epoch stack rebuild)."""
+        super().update_base(delivery, positions)
+        untraced = ~self._traced
+        self._stack[:, untraced] = self._base[untraced]
 
     def _index_at(self, now: float) -> int:
         index = int(now / self.interval)

@@ -39,6 +39,7 @@ from repro.sim.channels import ChannelModel, StaticBernoulli
 from repro.sim.frames import BROADCAST, Frame, FrameKind
 from repro.sim.radio import ChannelConfig
 from repro.topology.graph import Topology
+from repro.topology.mobility import MobilityModel
 
 
 @dataclass(slots=True)
@@ -62,22 +63,21 @@ class WirelessMedium:
 
     def __init__(self, topology: Topology, channel: ChannelConfig,
                  rng: np.random.Generator, model: ChannelModel | None = None,
-                 vectorized: bool = True, fast: bool = True) -> None:
+                 vectorized: bool = True, fast: bool = True,
+                 mobility: MobilityModel | None = None) -> None:
         self.topology = topology
         self.channel = channel
         self.rng = rng
         self.model = model if model is not None else StaticBernoulli()
         self.model.bind(topology)
-        # Long-run average deliveries: carrier-sense audibility and
-        # interference levels track mean signal energy, not the
-        # instantaneous fade (for the static model this IS the topology
-        # matrix, preserving the original behaviour bit for bit).
-        self._delivery = self.model.mean_matrix()
-        self._sense = self._build_sense_matrix(self._delivery, channel)
-        # Plain-python sense rows: the per-transmission carrier-sense probes
-        # in is_busy/busy_until are scalar lookups, where list indexing beats
-        # numpy scalar indexing several-fold.
-        self._sense_rows: list[list[bool]] = self._sense.tolist()
+        #: Dynamic-topology process (``None`` = static, today's behaviour
+        #: bit for bit).  When present, every epoch boundary re-bases the
+        #: channel model and invalidates the per-sender resolution caches.
+        self.mobility = mobility
+        self._dynamic = mobility is not None
+        self._epoch = -1
+        if self._dynamic:
+            mobility.bind(topology)
         # Bound draw method: complete() runs once per frame.
         self._random = rng.random
         self._active: list[Transmission] = []
@@ -88,32 +88,97 @@ class WirelessMedium:
         #: engine measures the original per-frame row/eligibility work).
         self.fast = fast
         self._static = type(self.model) is StaticBernoulli
+        self._max_airtime = 0.0
+        # One flag instead of three attribute probes per completed frame.
+        self._fast_static = self.fast and self._static and self.vectorized
+        if self._dynamic:
+            # Adopt the epoch-0 realisation before any caches are built.
+            self.model.update_base(mobility.delivery_at(0),
+                                   mobility.positions_at(0))
+            self._epoch = 0
+        self._rebuild_channel_state()
+        # Statistics.
+        self.transmissions = 0
+        self.receptions = 0
+        self.collisions = 0
+        self.captures = 0
+
+    def _rebuild_channel_state(self) -> None:
+        """(Re)derive every matrix/cache that depends on the channel base.
+
+        Called once at construction and — under a dynamic topology — at
+        every epoch boundary: this is the epoch-keyed invalidation of the
+        per-sender eligible-row and single-interferer pair caches.
+        """
+        # Long-run average deliveries: carrier-sense audibility and
+        # interference levels track mean signal energy, not the
+        # instantaneous fade (for the static model this IS the topology
+        # matrix, preserving the original behaviour bit for bit).
+        self._delivery = self.model.mean_matrix()
+        self._sense = self._build_sense_matrix(self._delivery, self.channel)
+        # Plain-python sense rows: the per-transmission carrier-sense probes
+        # in is_busy/busy_until are scalar lookups, where list indexing beats
+        # numpy scalar indexing several-fold.
+        self._sense_rows: list[list[bool]] = self._sense.tolist()
         self._row_indices: list[np.ndarray] = []
         self._row_probabilities: list[np.ndarray] = []
         if self._static:
             # Under a static channel the eligible-receiver set of every
-            # sender never changes: precompute the index gather and the
-            # matching probability row once, leaving one batched RNG draw
-            # plus one comparison per interference-free frame.
-            for sender in range(topology.node_count):
+            # sender never changes within an epoch: precompute the index
+            # gather and the matching probability row once, leaving one
+            # batched RNG draw plus one comparison per interference-free
+            # frame.
+            for sender in range(self.topology.node_count):
                 row = self._delivery[sender]
                 eligible = row > 0.0
                 eligible[sender] = False
                 indices = np.nonzero(eligible)[0]
                 self._row_indices.append(indices)
                 self._row_probabilities.append(row[indices])
-        self._max_airtime = 0.0
         # (sender, interferer) -> (indices, probabilities, survivable,
         # capture_possible); lazily built single-interferer resolution
-        # cache for the static channel (see _static_pair).
+        # cache for the static channel (see _resolve_static_pair).
         self._pair_cache: dict[tuple[int, int], tuple] = {}
-        # One flag instead of three attribute probes per completed frame.
-        self._fast_static = self.fast and self._static and self.vectorized
-        # Statistics.
-        self.transmissions = 0
-        self.receptions = 0
-        self.collisions = 0
-        self.captures = 0
+
+    # ------------------------------------------------------------------ #
+    # Dynamic topology (mobility / link churn)
+    # ------------------------------------------------------------------ #
+
+    def _advance_epoch(self, now: float) -> None:
+        """Step the mobility process forward; invalidate caches on change.
+
+        Epochs only move forward: a frame that started in an older epoch
+        resolves against the newest epoch the medium has seen (at most one
+        frame airtime newer than its start), which keeps the per-sender
+        caches single-versioned and the run deterministic.
+        """
+        epoch = self.mobility.epoch_of(now)
+        if epoch <= self._epoch:
+            return
+        self._epoch = epoch
+        self.model.update_base(self.mobility.delivery_at(epoch),
+                               self.mobility.positions_at(epoch))
+        self._rebuild_channel_state()
+
+    def effective_topology(self, now: float) -> Topology:
+        """The topology as it stands at ``now`` (positions + delivery).
+
+        Static media return the bound topology itself; dynamic media build
+        a snapshot of the current epoch's realisation — this is what the
+        link-state refresh loop probes against.
+        """
+        if not self._dynamic:
+            return self.topology
+        epoch = self.mobility.epoch_of(now)
+        delivery = self.mobility.delivery_at(epoch)
+        coords = self.mobility.positions_at(epoch)
+        if coords is None:
+            positions = self.topology.node_positions()
+        else:
+            positions = [tuple(float(value) for value in row) for row in coords]
+        names = [node.name for node in self.topology.nodes]
+        return Topology(np.clip(delivery, 0.0, 1.0), positions=positions,
+                        names=names)
 
     @staticmethod
     def _build_sense_matrix(delivery: np.ndarray, channel: ChannelConfig) -> np.ndarray:
@@ -201,6 +266,8 @@ class WirelessMedium:
 
     def begin(self, frame: Frame, now: float, airtime: float, bitrate: int) -> Transmission:
         """Register the start of a transmission; returns its record."""
+        if self._dynamic:
+            self._advance_epoch(now)
         self._expire(now)
         transmission = Transmission(frame=frame, start=now, end=now + airtime, bitrate=bitrate)
         self._active.append(transmission)
@@ -215,6 +282,11 @@ class WirelessMedium:
         The interference check considers every transmission that overlapped
         this one at any point.
         """
+        # Dynamic topologies: no epoch advance here — begin() already
+        # advanced to epoch_of(transmission.start) and epochs are
+        # monotonic, so every frame resolves against the epoch state the
+        # medium held when it went on the air (or newer, if a later frame
+        # began meanwhile).
         sender = transmission.frame.sender
         prune = False
         if self.fast:

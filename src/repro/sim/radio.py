@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.sim.channels import ChannelSpec
+from repro.topology.mobility import MobilitySpec
 
 #: 802.11b data rates in bits per second.
 RATE_1MBPS = 1_000_000
@@ -141,6 +142,9 @@ class SimConfig:
     max_duration: float = 300.0
     #: Channel-model spec (``None`` = static Bernoulli delivery matrix).
     channel_model: ChannelSpec | None = None
+    #: Mobility / link-churn spec (``None`` = static topology — today's
+    #: behaviour, bit for bit; see :mod:`repro.topology.mobility`).
+    mobility: MobilitySpec | None = None
     #: Resolve receptions with the vectorized fast path (scalar reference
     #: loop when False; results are bit-identical either way).
     vectorized_medium: bool = True

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.sim.channels import build_channel_model
 from repro.sim.events import EventHandle, EventQueue, LegacyEventQueue
+from repro.topology.mobility import build_mobility_model
 from repro.sim.frames import Frame, FrameKind
 from repro.sim.medium import WirelessMedium
 from repro.sim.node import SimNode
@@ -41,10 +42,16 @@ class Simulator:
         # static-channel simulation consumes the main RNG exactly as before.
         model = build_channel_model(self.config.channel_model,
                                     seed=self.config.seed)
+        # Mobility randomness likewise rides its own seed-derived stream, so
+        # a static-topology simulation consumes the main RNG exactly as
+        # before.
+        mobility = build_mobility_model(self.config.mobility,
+                                        seed=self.config.seed)
         self.medium = WirelessMedium(topology, self.config.channel, self.rng,
                                      model=model,
                                      vectorized=self.config.vectorized_medium,
-                                     fast=self.fast_engine)
+                                     fast=self.fast_engine,
+                                     mobility=mobility)
         # node id -> attached agent (or None); the flat list saves the
         # per-receiver node-object indirection on the delivery hot path and
         # is kept in sync by SimNode.attach.

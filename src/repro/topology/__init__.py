@@ -17,12 +17,28 @@ from repro.topology.generator import (
     two_hop_relay,
 )
 from repro.topology.graph import Node, Topology
+from repro.topology.mobility import (
+    MOBILITY_KINDS,
+    MarkovLinkChurn,
+    MobilityModel,
+    MobilitySpec,
+    RandomWalk,
+    RandomWaypoint,
+    build_mobility_model,
+)
 
 __all__ = [
     "DEFAULT_OPTIMISM_EXPONENT",
     "DEFAULT_PROBE_COUNT",
+    "MOBILITY_KINDS",
+    "MarkovLinkChurn",
+    "MobilityModel",
+    "MobilitySpec",
     "Node",
+    "RandomWalk",
+    "RandomWaypoint",
     "Topology",
+    "build_mobility_model",
     "chain",
     "cost_gap_topology",
     "diamond",

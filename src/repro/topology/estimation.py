@@ -45,7 +45,7 @@ DEFAULT_PROBE_COUNT = 100
 def probe_estimated_topology(topology: Topology,
                              optimism_exponent: float = DEFAULT_OPTIMISM_EXPONENT,
                              probe_count: int = DEFAULT_PROBE_COUNT,
-                             seed: int = 0) -> Topology:
+                             seed: int | tuple[int, ...] = 0) -> Topology:
     """The topology as the routing control plane believes it to be.
 
     Args:
@@ -76,7 +76,10 @@ def probe_estimated_topology(topology: Topology,
         estimated[probe_delivery <= 0.0] = 0.0
     else:
         estimated = probe_delivery
-    positions = [node.position for node in topology.nodes] if topology.nodes[0].position else None
+    # Carry positions iff every node has one (an explicit all-nodes check:
+    # truthiness of node 0's position alone silently dropped coordinates,
+    # which the mobility layer depends on surviving estimation).
+    positions = topology.node_positions()
     names = [node.name for node in topology.nodes]
     return Topology(estimated, positions=positions, names=names)
 

@@ -81,6 +81,20 @@ class Topology:
         """Copy of the full delivery-probability matrix."""
         return self._delivery.copy()
 
+    def node_positions(self) -> list[tuple[float, ...]] | None:
+        """Positions of all nodes, or ``None`` unless every node has one.
+
+        The explicit all-nodes check (rather than the truthiness of node
+        0's position) is what consumers that *must not* silently lose
+        coordinates — estimation, subtopologies, the mobility layer —
+        key off: a topology either carries a position for every node or
+        none at all.
+        """
+        positions = [node.position for node in self.nodes]
+        if any(position is None or len(position) == 0 for position in positions):
+            return None
+        return positions
+
     def delivery(self, sender: int, receiver: int) -> float:
         """Delivery probability from ``sender`` to ``receiver``."""
         return float(self._delivery[sender, receiver])
@@ -178,7 +192,8 @@ class Topology:
         """Restrict the topology to the given nodes (relabelled densely)."""
         index = np.asarray(node_ids, dtype=int)
         matrix = self._delivery[np.ix_(index, index)]
-        positions = [self.nodes[i].position for i in node_ids] if self.nodes[0].position else None
+        all_positions = self.node_positions()
+        positions = [all_positions[i] for i in node_ids] if all_positions else None
         names = [self.nodes[i].name for i in node_ids]
         return Topology(matrix, positions=positions, names=names)
 

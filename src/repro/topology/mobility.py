@@ -1,0 +1,457 @@
+"""Deterministic mobility and link-churn processes (dynamic topologies).
+
+Everything in the paper's evaluation is frozen at t=0: the delivery matrix
+never drifts, so forwarder plans computed once can never go stale.  The
+paper's own argument — MORE's stateless random coding tolerates imprecise,
+*stale* link state better than ExOR's rigid schedule — is only testable when
+the topology actually changes under the protocols.  This module provides the
+dynamics:
+
+* :class:`RandomWaypoint` — each node repeatedly picks a uniform target in
+  the arena, travels to it at a uniform-random speed, pauses, and repeats
+  (the classic MANET mobility model).
+* :class:`RandomWalk` — each epoch every node takes a step of
+  uniform-random speed in a uniform-random direction, reflecting at the
+  arena bounds (Brownian-style drift for slow topology ageing).
+* :class:`MarkovLinkChurn` — position-free link flapping: every link runs a
+  two-state up/down Markov chain on the epoch grid; down links have their
+  delivery scaled by ``down_scale``.  This is the model for topologies
+  without coordinates (chains, diamonds, random meshes).
+
+Realisations are sampled on a configurable **epoch grid**
+(``epoch_length`` seconds per epoch) and are a *pure function of
+``(seed, epoch)``*, exactly like the PR 3 channel models: waypoint legs are
+drawn from ``default_rng((seed, stream, node, leg))``, random-walk steps
+from ``default_rng((seed, stream, epoch))`` and churn flips from a
+counter-based SplitMix64 over ``(seed, link, epoch)``.  No draw ever
+touches the simulator's main generator, and querying epochs in any order
+replays the identical trajectory — which is what keeps back-to-back
+protocol runs at one seed on the *same* dynamic topology and parallel
+sweep cells bit-identical to serial ones.
+
+Position-based models derive each epoch's delivery matrix from the node
+coordinates through the *same* propagation formula the static generators
+use (:func:`repro.topology.generator.path_loss_margin_db` +
+:func:`~repro.topology.generator.margin_to_delivery`, no shadowing), so a
+mesh that stops moving stops changing.  :class:`MarkovLinkChurn` instead
+scales the topology's nominal matrix, leaving positions untouched.
+
+A :class:`MobilitySpec` is the declarative form (``kind`` + ``params``)
+that rides inside :class:`~repro.scenarios.spec.ScenarioSpec` JSON and the
+``repro run/sweep --mobility`` CLI flag; :func:`build_mobility_model`
+turns it into a live process (``None`` for a static scenario).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.rng import splitmix64 as _splitmix64
+from repro.topology.generator import margin_to_delivery, path_loss_margin_db
+from repro.topology.graph import Topology
+
+#: Stream key mixed with the cell seed so mobility randomness is independent
+#: of (and cannot perturb) both the simulator's main RNG stream and the
+#: channel-model streams.
+_MOBILITY_STREAM = 0x0B171E5
+
+
+@dataclass
+class MobilitySpec:
+    """Declarative mobility description: ``kind`` plus its parameters.
+
+    Round-trips through dicts/JSON inside a scenario spec.  ``params`` are
+    keyword arguments of the model named by ``kind`` (see
+    :data:`MOBILITY_MODELS`); an optional ``seed`` param pins the mobility
+    RNG stream independently of the cell seed.  ``kind="none"`` is a
+    static scenario (today's behaviour, bit for bit).
+    """
+
+    kind: str = "none"
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_static(self) -> bool:
+        """True if this spec describes a static (immobile) topology."""
+        return self.kind == "none" and not self.params
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MobilitySpec":
+        if "kind" not in data:
+            raise ValueError("mobility spec needs a 'kind' field")
+        return cls(kind=data["kind"], params=dict(data.get("params", {})))
+
+
+class MobilityModel:
+    """A time-varying topology realisation sampled on an epoch grid.
+
+    Subclasses implement :meth:`positions_at` (``None`` for position-free
+    models) and :meth:`delivery_at`; both must be pure functions of
+    ``(seed, epoch)``.  The medium calls :meth:`bind` once before any query
+    and then advances epoch by epoch as simulated time passes.
+    """
+
+    kind = "none"
+
+    def __init__(self, seed: int = 0, epoch_length: float = 1.0) -> None:
+        if epoch_length <= 0:
+            raise ValueError("epoch_length must be positive")
+        self.seed = int(seed)
+        self.epoch_length = float(epoch_length)
+        self.topology: Topology | None = None
+        self._base: np.ndarray | None = None
+        self._coords0: np.ndarray | None = None
+
+    def bind(self, topology: Topology) -> None:
+        """Attach the process to a topology; called by the medium once."""
+        self.topology = topology
+        self._base = topology.delivery_matrix()
+        positions = topology.node_positions()
+        self._coords0 = None
+        if positions is not None:
+            coords = np.zeros((len(positions), 3))
+            for index, position in enumerate(positions):
+                coords[index, :min(len(position), 3)] = position[:3]
+            self._coords0 = coords
+        self._prepare()
+
+    def _prepare(self) -> None:
+        """Subclass hook: build per-node/per-link state after ``bind``."""
+
+    def epoch_of(self, now: float) -> int:
+        """The epoch-grid index containing simulated time ``now``."""
+        return max(0, int(now / self.epoch_length))
+
+    def positions_at(self, epoch: int) -> np.ndarray | None:
+        """Node coordinates at ``epoch`` (``(n, 3)``), or ``None`` if the
+        model does not move nodes.  Must not be mutated by the caller."""
+        raise NotImplementedError
+
+    def delivery_at(self, epoch: int) -> np.ndarray:
+        """The effective delivery matrix at ``epoch`` (not to be mutated)."""
+        raise NotImplementedError
+
+
+class _PositionMobility(MobilityModel):
+    """Shared machinery of the position-based models.
+
+    The arena is ``[x0, x1] x [y0, y1]``: the initial positions' bounding
+    box unless ``area`` pins a ``[0, area]`` square.  Motion is 2-D; any z
+    coordinate (building floor) is frozen.  Each epoch's delivery matrix
+    comes from the shared log-distance propagation formula evaluated at the
+    epoch's coordinates (deterministic — compose with a
+    :class:`~repro.sim.channels.DistanceFading` channel for fading on top).
+    """
+
+    def __init__(self, seed: int = 0, epoch_length: float = 1.0,
+                 area: float | None = None) -> None:
+        super().__init__(seed, epoch_length)
+        if area is not None and area <= 0:
+            raise ValueError("area must be positive")
+        self.area = None if area is None else float(area)
+        self._delivery_epoch = -1
+        self._delivery: np.ndarray | None = None
+
+    def _prepare(self) -> None:
+        if self._coords0 is None:
+            raise ValueError(
+                f"{self.kind} mobility needs node coordinates; this topology "
+                "has none (use a grid / indoor_testbed / random_geometric "
+                "topology, or the position-free link_churn model)")
+        if self.area is not None:
+            low = np.zeros(2)
+            high = np.full(2, self.area)
+        else:
+            low = self._coords0[:, :2].min(axis=0)
+            high = self._coords0[:, :2].max(axis=0)
+            span = np.maximum(high - low, 1.0)
+            low, high = low - 0.05 * span, high + 0.05 * span
+        self._low, self._high = low, high
+        self._delivery_epoch = -1
+        self._delivery = None
+
+    def delivery_at(self, epoch: int) -> np.ndarray:
+        if epoch != self._delivery_epoch:
+            coords = self.positions_at(epoch)
+            deltas = coords[:, None, :] - coords[None, :, :]
+            distance = np.sqrt((deltas ** 2).sum(axis=2))
+            delivery = margin_to_delivery(path_loss_margin_db(distance))
+            np.fill_diagonal(delivery, 0.0)
+            self._delivery = delivery
+            self._delivery_epoch = epoch
+        return self._delivery
+
+
+class RandomWaypoint(_PositionMobility):
+    """The classic random-waypoint model on the epoch grid.
+
+    Each node's trajectory is a sequence of *legs*: pick a uniform target
+    in the arena, travel there at a speed uniform in
+    ``[speed_min, speed_max]``, pause for ``pause_time``, repeat.  Leg k of
+    node i is drawn from ``default_rng((seed, stream, i, k))``, so the
+    whole trajectory — and hence every epoch realisation — is a pure
+    function of the seed.
+
+    Args:
+        epoch_length: seconds per epoch-grid step.
+        speed_min / speed_max: node speed range in m/s.
+        pause_time: dwell time at each waypoint, seconds.
+        area: side of a ``[0, area]`` square arena (default: the initial
+            positions' bounding box).
+        seed: mobility RNG stream seed (defaults to the cell seed).
+    """
+
+    kind = "random_waypoint"
+
+    def __init__(self, seed: int = 0, epoch_length: float = 1.0,
+                 speed_min: float = 0.5, speed_max: float = 2.0,
+                 pause_time: float = 0.0, area: float | None = None) -> None:
+        super().__init__(seed, epoch_length, area)
+        if not 0 < speed_min <= speed_max:
+            raise ValueError("need 0 < speed_min <= speed_max")
+        if pause_time < 0:
+            raise ValueError("pause_time must be non-negative")
+        self.speed_min = float(speed_min)
+        self.speed_max = float(speed_max)
+        self.pause_time = float(pause_time)
+
+    def _prepare(self) -> None:
+        super()._prepare()
+        count = self._coords0.shape[0]
+        # Per-node leg lists: (p0, p1, travel_time) plus the cumulative
+        # end-of-leg times (travel + pause), extended lazily.
+        self._legs: list[list[tuple[np.ndarray, np.ndarray, float]]] = \
+            [[] for _ in range(count)]
+        self._leg_ends: list[list[float]] = [[] for _ in range(count)]
+        self._positions_cache: dict[int, np.ndarray] = {}
+
+    def _extend_legs(self, node: int, until: float) -> None:
+        legs = self._legs[node]
+        ends = self._leg_ends[node]
+        while not ends or ends[-1] <= until:
+            index = len(legs)
+            start = legs[-1][1] if legs else self._coords0[node, :2]
+            rng = np.random.default_rng((self.seed, _MOBILITY_STREAM, node, index))
+            target = rng.uniform(self._low, self._high)
+            speed = rng.uniform(self.speed_min, self.speed_max)
+            travel = float(np.linalg.norm(target - start)) / speed
+            legs.append((start, target, travel))
+            ends.append((ends[-1] if ends else 0.0) + travel + self.pause_time)
+
+    def _node_position(self, node: int, t: float) -> np.ndarray:
+        self._extend_legs(node, t)
+        ends = self._leg_ends[node]
+        index = bisect_right(ends, t)
+        start, target, travel = self._legs[node][index]
+        leg_start = ends[index - 1] if index else 0.0
+        elapsed = t - leg_start
+        if travel <= 0.0 or elapsed >= travel:
+            return target
+        return start + (target - start) * (elapsed / travel)
+
+    def positions_at(self, epoch: int) -> np.ndarray:
+        cached = self._positions_cache.get(epoch)
+        if cached is None:
+            t = epoch * self.epoch_length
+            coords = self._coords0.copy()
+            for node in range(coords.shape[0]):
+                coords[node, :2] = self._node_position(node, t)
+            cached = self._positions_cache[epoch] = coords
+        return cached
+
+
+class RandomWalk(_PositionMobility):
+    """Reflected random walk: one uniform-direction step per node per epoch.
+
+    Every epoch each node moves ``speed * epoch_length`` metres (speed
+    uniform in ``[speed_min, speed_max]``) in a uniform-random direction,
+    reflecting off the arena bounds.  The step field of epoch k is drawn
+    from ``default_rng((seed, stream, k))`` for all nodes at once, so the
+    trajectory folds deterministically from epoch 0 whatever the query
+    order.
+
+    Args:
+        epoch_length: seconds per epoch-grid step.
+        speed_min / speed_max: node speed range in m/s.
+        area: side of a ``[0, area]`` square arena (default: the initial
+            positions' bounding box).
+        seed: mobility RNG stream seed (defaults to the cell seed).
+    """
+
+    kind = "random_walk"
+
+    def __init__(self, seed: int = 0, epoch_length: float = 1.0,
+                 speed_min: float = 0.2, speed_max: float = 1.5,
+                 area: float | None = None) -> None:
+        super().__init__(seed, epoch_length, area)
+        if not 0 <= speed_min <= speed_max:
+            raise ValueError("need 0 <= speed_min <= speed_max")
+        self.speed_min = float(speed_min)
+        self.speed_max = float(speed_max)
+
+    def _prepare(self) -> None:
+        super()._prepare()
+        self._trajectory: list[np.ndarray] = [self._coords0.copy()]
+
+    def positions_at(self, epoch: int) -> np.ndarray:
+        trajectory = self._trajectory
+        while len(trajectory) <= epoch:
+            step_epoch = len(trajectory)
+            rng = np.random.default_rng((self.seed, _MOBILITY_STREAM, step_epoch))
+            count = self._coords0.shape[0]
+            angle = rng.uniform(0.0, 2.0 * np.pi, size=count)
+            speed = rng.uniform(self.speed_min, self.speed_max, size=count)
+            step = (speed * self.epoch_length)[:, None] \
+                * np.stack([np.cos(angle), np.sin(angle)], axis=1)
+            coords = trajectory[-1].copy()
+            moved = coords[:, :2] + step
+            # Reflect at the arena bounds (possibly more than once for
+            # steps longer than the arena — folded, not clamped).
+            span = self._high - self._low
+            folded = np.mod(moved - self._low, 2.0 * span)
+            coords[:, :2] = self._low + np.where(folded > span,
+                                                 2.0 * span - folded, folded)
+            trajectory.append(coords)
+        return trajectory[epoch]
+
+
+class MarkovLinkChurn(MobilityModel):
+    """Position-free link flapping: per-link up/down chains on the epoch grid.
+
+    Every directed link runs a two-state Markov chain sampled once per
+    epoch; the per-epoch transition probabilities are the CTMC exposure
+    ``1 - exp(-epoch_length / mean_time)``.  A down link's delivery is the
+    nominal (topology) value scaled by ``down_scale``.  Epoch 0 draws each
+    link's state from the stationary mix, and the flip draw of
+    ``(link, epoch)`` is a counter-based SplitMix64 uniform, so the whole
+    realisation is a pure function of the seed regardless of query order.
+
+    Args:
+        epoch_length: seconds per epoch-grid step.
+        mean_up_time: mean sojourn in the up state, seconds.
+        mean_down_time: mean sojourn in the down state, seconds.
+        down_scale: delivery multiplier while a link is down (0 = outage).
+        symmetric: churn both directions of a link together (default), as
+            physical obstructions do.
+        seed: mobility RNG stream seed (defaults to the cell seed).
+    """
+
+    kind = "link_churn"
+
+    def __init__(self, seed: int = 0, epoch_length: float = 1.0,
+                 mean_up_time: float = 5.0, mean_down_time: float = 1.0,
+                 down_scale: float = 0.0, symmetric: bool = True) -> None:
+        super().__init__(seed, epoch_length)
+        if mean_up_time <= 0 or mean_down_time <= 0:
+            raise ValueError("state sojourn times must be positive")
+        if not 0.0 <= down_scale <= 1.0:
+            raise ValueError("down_scale must lie in [0, 1]")
+        self.mean_up_time = float(mean_up_time)
+        self.mean_down_time = float(mean_down_time)
+        self.down_scale = float(down_scale)
+        self.symmetric = bool(symmetric)
+
+    def _uniform(self, epoch: int) -> np.ndarray:
+        """Counter-based uniforms in [0, 1) for every link at one epoch."""
+        key = np.uint64(((self.seed ^ _MOBILITY_STREAM) * 0x9E3779B97F4A7C15)
+                        & 0xFFFFFFFFFFFFFFFF)
+        mixed = _splitmix64(_splitmix64(self._link_ids + key)
+                            + np.uint64(epoch))
+        return (mixed >> np.uint64(11)).astype(np.float64) * 2.0 ** -53
+
+    def _prepare(self) -> None:
+        count = self._base.shape[0]
+        grid_i, grid_j = np.meshgrid(np.arange(count), np.arange(count),
+                                     indexing="ij")
+        if self.symmetric:
+            # Both directions of a pair share one chain (one link id).
+            pair_lo = np.minimum(grid_i, grid_j)
+            pair_hi = np.maximum(grid_i, grid_j)
+            self._link_ids = (pair_lo * count + pair_hi).astype(np.uint64)
+        else:
+            self._link_ids = (grid_i * count + grid_j).astype(np.uint64)
+        total = self.mean_up_time + self.mean_down_time
+        self._p_up_stationary = self.mean_up_time / total
+        self._p_drop = 1.0 - float(np.exp(-self.epoch_length / self.mean_up_time))
+        self._p_recover = 1.0 - float(np.exp(-self.epoch_length
+                                             / self.mean_down_time))
+        self._state_epoch = -1
+        self._up: np.ndarray | None = None
+        self._delivery: np.ndarray | None = None
+        self._delivery_epoch = -1
+
+    def _advance_to(self, epoch: int) -> np.ndarray:
+        if epoch < self._state_epoch:
+            # Rare backwards query (e.g. a fresh reader): replay from 0.
+            self._state_epoch = -1
+        if self._state_epoch < 0:
+            self._up = self._uniform(0) < self._p_up_stationary
+            self._state_epoch = 0
+        while self._state_epoch < epoch:
+            next_epoch = self._state_epoch + 1
+            draw = self._uniform(next_epoch)
+            up = self._up
+            flip = np.where(up, draw < self._p_drop, draw < self._p_recover)
+            self._up = up ^ flip
+            self._state_epoch = next_epoch
+        return self._up
+
+    def up_mask(self, epoch: int) -> np.ndarray:
+        """Boolean matrix of links that are up at ``epoch``."""
+        return self._advance_to(epoch).copy()
+
+    def positions_at(self, epoch: int) -> np.ndarray | None:
+        return None  # churn never moves nodes
+
+    def delivery_at(self, epoch: int) -> np.ndarray:
+        if epoch != self._delivery_epoch:
+            up = self._advance_to(epoch)
+            scale = np.where(up, 1.0, self.down_scale)
+            self._delivery = self._base * scale
+            self._delivery_epoch = epoch
+        return self._delivery
+
+
+#: Mobility models addressable from a :class:`MobilitySpec`.
+MOBILITY_MODELS: dict[str, type[MobilityModel]] = {
+    RandomWaypoint.kind: RandomWaypoint,
+    RandomWalk.kind: RandomWalk,
+    MarkovLinkChurn.kind: MarkovLinkChurn,
+}
+
+#: Spec kinds accepted by :func:`build_mobility_model` (``none`` = static).
+MOBILITY_KINDS = ("none",) + tuple(sorted(MOBILITY_MODELS))
+
+
+def build_mobility_model(spec: MobilitySpec | None,
+                         seed: int = 0) -> MobilityModel | None:
+    """Instantiate the process a spec describes (``None``/static = no motion).
+
+    ``seed`` (normally the cell seed) drives the model's private RNG stream
+    unless the spec params pin their own ``seed`` — the same convention as
+    the channel models.
+    """
+    if spec is None or spec.kind == "none":
+        if spec is not None and spec.params:
+            raise ValueError("mobility kind 'none' accepts no parameters")
+        return None
+    try:
+        cls = MOBILITY_MODELS[spec.kind]
+    except KeyError:
+        raise ValueError(f"unknown mobility kind {spec.kind!r}; expected one "
+                         f"of {MOBILITY_KINDS}") from None
+    params = dict(spec.params)
+    params.setdefault("seed", int(seed))
+    try:
+        return cls(**params)
+    except TypeError as error:
+        # Surface bad `mobility.<param>` overrides as a one-line user error.
+        raise ValueError(f"bad parameter for mobility {spec.kind!r}: {error}") \
+            from None

@@ -1,0 +1,307 @@
+"""Online link-state refresh: mid-flow control-plane rebuilds per protocol.
+
+Covers the refresh loop itself (scheduling, the inf no-op, disconnected
+control views) and each protocol's in-place plan rebuild: MORE forwarder
+recruitment + cache invalidation, ExOR participant re-ranking without
+losing transfer progress, Srcr re-routing with detours for stranded relays.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.refresh import (
+    LinkStateRefresher,
+    refresh_exor_flow,
+    refresh_more_flow,
+    refresh_srcr_flow,
+)
+from repro.experiments.runner import RunConfig, run_single_flow
+from repro.protocols.exor.agent import setup_exor_flow
+from repro.protocols.more.agent import MoreAgent
+from repro.protocols.more.flow import setup_more_flow
+from repro.protocols.srcr.agent import SrcrAgent, setup_srcr_flow
+from repro.sim.radio import SimConfig
+from repro.sim.simulator import Simulator
+from repro.topology.generator import chain, diamond
+from repro.topology.graph import Topology
+
+
+def _diamond_views():
+    """A 2-relay diamond plus a control view in which relay 2 is invisible."""
+    full = diamond(source_to_relays=0.7, relays_to_destination=0.7,
+                   relay_count=2, direct=0.1)
+    weak = full.delivery_matrix()
+    for a, b in ((0, 2), (2, 0), (2, 3), (3, 2)):
+        weak[a, b] = 0.0
+    return full, Topology(weak)
+
+
+class TestRefresherLoop:
+    def test_infinite_period_schedules_nothing(self):
+        topology = chain(3, link_delivery=0.8)
+        sim = Simulator(topology, SimConfig(seed=1))
+        handle = setup_more_flow(sim, topology, 0, 3, total_packets=8,
+                                 batch_size=4, coding_payload_size=4)
+        before = sim.events.processed
+        refresher = LinkStateRefresher(sim, [handle], RunConfig(seed=1))
+        assert not refresher.enabled
+        refresher.install()
+        sim.run(until=0.5)
+        assert refresher.refreshes == 0
+        assert sim.events.processed > before  # the flow itself did run
+
+    def test_periodic_refreshes_fire_and_flow_completes(self):
+        topology = chain(3, link_delivery=0.8, skip_delivery=0.2)
+        sim = Simulator(topology, SimConfig(seed=1))
+        config = RunConfig(seed=1, refresh_period=0.05, total_packets=16,
+                           batch_size=8)
+        handle = setup_more_flow(sim, topology, 0, 3, total_packets=16,
+                                 batch_size=8, coding_payload_size=4,
+                                 control_topology=config.control_view(topology))
+        refresher = LinkStateRefresher(sim, [handle], config).install()
+        sim.run(until=2.0, stop_condition=sim.stats.all_flows_complete)
+        assert sim.stats.flows[handle.flow_id].completed
+        assert refresher.refreshes >= 2
+
+    def test_disconnected_control_view_keeps_stale_plan(self):
+        topology = chain(3, link_delivery=0.8)
+        sim = Simulator(topology, SimConfig(seed=1))
+        config = RunConfig(seed=1, refresh_period=0.1)
+        handle = setup_srcr_flow(sim, topology, 0, 3, total_packets=4)
+        old_route = list(handle.spec.route)
+        refresher = LinkStateRefresher(sim, [handle], config)
+        # Probes stopped returning: the control view sees no links at all.
+        refresher.control_view = lambda: Topology(np.zeros((4, 4)))
+        refresher._tick()
+        assert refresher.skipped_flows == 1
+        assert handle.spec.route == old_route
+
+    def test_refresh_uses_fresh_probe_noise_per_round(self):
+        topology = chain(3, link_delivery=0.8)
+        sim = Simulator(topology, SimConfig(seed=1))
+        config = RunConfig(seed=1, refresh_period=0.1)
+        refresher = LinkStateRefresher(sim, [], config)
+        refresher.refreshes = 1
+        first = refresher.control_view().delivery_matrix()
+        refresher.refreshes = 2
+        second = refresher.control_view().delivery_matrix()
+        assert not np.allclose(first, second)
+        # ... but each round replays identically (pure function of the seed).
+        again = LinkStateRefresher(sim, [], RunConfig(seed=1, refresh_period=0.1))
+        again.refreshes = 1
+        np.testing.assert_array_equal(first, again.control_view().delivery_matrix())
+
+
+class TestMoreRefresh:
+    def test_recruits_new_forwarder_and_invalidates_caches(self):
+        full, weak = _diamond_views()
+        sim = Simulator(full, SimConfig(seed=1))
+        handle = setup_more_flow(sim, full, 0, 3, total_packets=8, batch_size=4,
+                                 coding_payload_size=4, control_topology=weak)
+        spec = handle.spec
+        assert spec.forwarder_id_set() == {1}
+        assert sim.nodes[2].agent is None
+        old_header_size = spec.header_size()
+
+        config = RunConfig(seed=1, estimation_exponent=1.0, estimation_probes=0)
+        refresh_more_flow(sim, handle, full, config)
+
+        assert spec.forwarder_id_set() == {1, 2}
+        assert 2 in spec.tx_credit and 2 in spec.distances
+        # The memoised header constants were rebuilt from the new plan.
+        assert spec.header_size() > old_header_size
+        agent = sim.nodes[2].agent
+        assert isinstance(agent, MoreAgent)
+        state = agent.forward_flows[spec.flow_id]
+        assert state.listed and state.tx_credit == spec.tx_credit[2]
+        # The pre-existing forwarder re-derived its cached plan constants.
+        old_forwarder = sim.nodes[1].agent.forward_flows[spec.flow_id]
+        assert old_forwarder.upstream_senders == frozenset({0, 2}) \
+            or 0 in old_forwarder.upstream_senders
+
+    def test_dropped_forwarder_stops_accepting_data(self):
+        full, weak = _diamond_views()
+        sim = Simulator(full, SimConfig(seed=1))
+        handle = setup_more_flow(sim, full, 0, 3, total_packets=8, batch_size=4,
+                                 coding_payload_size=4, control_topology=full)
+        spec = handle.spec
+        assert 2 in spec.forwarder_id_set()
+        config = RunConfig(seed=1, estimation_exponent=1.0, estimation_probes=0)
+        refresh_more_flow(sim, handle, weak, config)
+        assert spec.forwarder_id_set() == {1}
+        state = sim.nodes[2].agent.forward_flows[spec.flow_id]
+        assert not state.listed  # ignores the flow's data from now on
+
+
+class TestExorRefresh:
+    def test_reranks_without_resetting_progress(self):
+        full, weak = _diamond_views()
+        sim = Simulator(full, SimConfig(seed=1))
+        handle = setup_exor_flow(sim, full, 0, 3, total_packets=8, batch_size=4,
+                                 control_topology=weak)
+        spec = handle.spec
+        assert 2 not in spec.participants
+        source_agent = sim.nodes[0].agent
+        source_agent.source_progress[spec.flow_id] = 1  # mid-transfer
+        destination_agent = sim.nodes[3].agent
+        destination_agent.destination_done[spec.flow_id].add(0)
+
+        config = RunConfig(seed=1, estimation_exponent=1.0, estimation_probes=0)
+        refresh_exor_flow(sim, handle, full, config)
+
+        assert 2 in spec.participants
+        assert spec.rank(2) is not None
+        # Newly recruited participant has per-flow state, ranked correctly.
+        state = sim.nodes[2].agent.flows[spec.flow_id]
+        assert state.rank == spec.rank(2)
+        # Transfer progress survived the refresh.
+        assert source_agent.source_progress[spec.flow_id] == 1
+        assert destination_agent.destination_done[spec.flow_id] == {0}
+        # The strict schedule stays inside the (resized) participant list.
+        assert handle.scheduler._position <= len(spec.participants) - 1
+
+    def test_asymmetric_control_view_leaves_spec_untouched(self):
+        """Regression: a refresh that fails mid-computation must not leave
+        the flow half-refreshed.
+
+        An asymmetric control view can have a usable forward plan while the
+        reverse (ACK) route is gone; every failing path computation must
+        happen before the first spec mutation so the caller really does
+        keep the stale-but-consistent plan.
+        """
+        full, _ = _diamond_views()
+        sim = Simulator(full, SimConfig(seed=1))
+        handle = setup_exor_flow(sim, full, 0, 3, total_packets=8, batch_size=4,
+                                 control_topology=full)
+        spec = handle.spec
+        before = (list(spec.participants), list(spec.forward_route),
+                  list(spec.reverse_route))
+        rank_before = {node: spec.rank(node) for node in spec.participants}
+        asymmetric = full.delivery_matrix()
+        asymmetric[3, :] = 0.0  # the destination can reach nobody
+        config = RunConfig(seed=1, estimation_exponent=1.0, estimation_probes=0)
+        with pytest.raises(ValueError):
+            refresh_exor_flow(sim, handle, Topology(asymmetric), config)
+        assert (list(spec.participants), list(spec.forward_route),
+                list(spec.reverse_route)) == before
+        # The memoised rank map still matches the (unchanged) participants.
+        assert {node: spec.rank(node) for node in spec.participants} == rank_before
+
+    def test_holdings_reclaimed_after_rank_shift(self):
+        """Regression: a refresh that renumbers ranks must not orphan the
+        packets a surviving node is responsible for.
+
+        The source loads a batch with map entries at its old rank; when
+        pruning a participant shifts its rank, those entries named a rank
+        nobody held any more — responsibility() matched nothing and the
+        batch stalled until max_duration.
+        """
+        full, weak = _diamond_views()
+        sim = Simulator(full, SimConfig(seed=1))
+        handle = setup_exor_flow(sim, full, 0, 3, total_packets=4, batch_size=4,
+                                 control_topology=full)
+        spec = handle.spec
+        source_agent = sim.nodes[0].agent
+        source_agent.start_flow(spec.flow_id)
+        state = source_agent.flows[spec.flow_id]
+        old_rank = state.rank
+        config = RunConfig(seed=1, estimation_exponent=1.0, estimation_probes=0)
+        refresh_exor_flow(sim, handle, weak, config)  # relay 2 pruned
+        assert state.rank < old_rank
+        assert state.responsibility() == [0, 1, 2, 3]
+
+    def test_dropped_participant_gets_inert_rank(self):
+        full, weak = _diamond_views()
+        sim = Simulator(full, SimConfig(seed=1))
+        handle = setup_exor_flow(sim, full, 0, 3, total_packets=8, batch_size=4,
+                                 control_topology=full)
+        spec = handle.spec
+        assert 2 in spec.participants
+        config = RunConfig(seed=1, estimation_exponent=1.0, estimation_probes=0)
+        refresh_exor_flow(sim, handle, weak, config)
+        assert 2 not in spec.participants
+        state = sim.nodes[2].agent.flows[spec.flow_id]
+        state.packets_received(state.batch_id).add(0)
+        assert state.responsibility() == []  # never claims packets again
+
+
+class TestSrcrRefresh:
+    def test_reroute_and_detour_for_stranded_relay(self):
+        # Chain route 0-1-2-3-4; after the refresh the control plane
+        # prefers 0-1-3-4 via a new strong 1-3 link.  Node 2 holds queued
+        # packets and must get a detour next hop instead of stranding them.
+        topology = chain(4, link_delivery=0.8)
+        rerouted = topology.delivery_matrix()
+        rerouted[1, 3] = rerouted[3, 1] = 0.9
+        rerouted[1, 2] = rerouted[2, 1] = 0.1
+        control = Topology(rerouted)
+
+        sim = Simulator(topology, SimConfig(seed=1))
+        handle = setup_srcr_flow(sim, topology, 0, 4, total_packets=8)
+        spec = handle.spec
+        assert spec.route == [0, 1, 2, 3, 4]
+        relay = sim.nodes[2].agent
+        assert isinstance(relay, SrcrAgent)
+        relay.queues[spec.flow_id].extend([3, 4])
+
+        config = RunConfig(seed=1, estimation_exponent=1.0, estimation_probes=0)
+        refresh_srcr_flow(sim, handle, control, config)
+
+        assert spec.route == [0, 1, 3, 4]
+        assert spec.next_hop(2) == 3  # the stranded relay keeps forwarding
+        assert spec.next_hop(1) == 3
+        assert spec.next_hop(0) == 1
+
+    def test_flow_without_next_hop_does_not_starve_others(self):
+        """Regression: a relay holding one detour-less (stranded) flow must
+        still serve its other flows' queues at each transmit opportunity
+        instead of parking the MAC."""
+        topology = chain(3, link_delivery=0.9)
+        sim = Simulator(topology, SimConfig(seed=1))
+        stranded = setup_srcr_flow(sim, topology, 0, 3, total_packets=4)
+        healthy = setup_srcr_flow(sim, topology, 0, 3, total_packets=4)
+        relay = sim.nodes[1].agent
+        relay.queues[stranded.flow_id].append(0)
+        relay.queues[healthy.flow_id].append(0)
+        # A refresh moved the stranded flow's route off node 1, no detour.
+        stranded.spec.route = [0, 3]
+        for _ in range(4):
+            frame = relay.on_transmit_opportunity(0.0)
+            assert frame is not None
+            assert frame.flow_id == healthy.flow_id
+
+    def test_refresh_without_queues_leaves_no_detours(self):
+        topology = chain(3, link_delivery=0.8)
+        sim = Simulator(topology, SimConfig(seed=1))
+        handle = setup_srcr_flow(sim, topology, 0, 3, total_packets=4)
+        config = RunConfig(seed=1, estimation_exponent=1.0, estimation_probes=0)
+        refresh_srcr_flow(sim, handle, topology, config)
+        assert handle.spec.detours == {}
+        assert handle.spec.route == [0, 1, 2, 3]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("protocol", ("MORE", "ExOR", "Srcr"))
+    def test_dynamic_run_with_refresh_completes(self, protocol):
+        topology = chain(4, link_delivery=0.75, skip_delivery=0.25)
+        config = RunConfig(total_packets=24, batch_size=8, packet_size=256,
+                           coding_payload_size=8, seed=1, max_duration=30.0,
+                           refresh_period=0.5,
+                           mobility={"kind": "link_churn",
+                                     "params": {"mean_up_time": 3.0,
+                                                "mean_down_time": 0.5,
+                                                "down_scale": 0.2,
+                                                "epoch_length": 0.25}})
+        result = run_single_flow(topology, protocol, 0, 4, config=config)
+        assert result.completed
+        assert result.delivered_packets == result.total_packets
+
+    def test_refresh_period_validation(self):
+        with pytest.raises(ValueError, match="refresh_period"):
+            RunConfig(refresh_period=0.0)
+        assert math.isinf(RunConfig(refresh_period="inf").refresh_period)
+        assert RunConfig(refresh_period="2.5").refresh_period == 2.5

@@ -138,6 +138,32 @@ class TestPruning:
         assert pruned.participants[0] == destination
         assert pruned.participants[-1] == source
 
+    def test_pruned_plan_is_self_consistent(self):
+        """Pruned nodes lose z, load AND distance (regression).
+
+        The old implementation zeroed ``z``/``load`` but returned pruned
+        nodes still carrying finite ``distances``, so a participant check
+        keyed off distances disagreed with ``participants``.
+        """
+        topo = two_hop_relay(source_to_relay=1.0, relay_to_destination=1.0,
+                             source_to_destination=0.95)
+        plan = expected_transmissions(topo, 0, 2)
+        assert math.isfinite(plan.distances[1])  # a participant pre-prune
+        pruned = prune_forwarders(topo, plan)
+        assert 1 not in pruned.participants
+        assert math.isinf(pruned.distances[1])
+        assert pruned.z[1] == 0.0 and pruned.load[1] == 0.0
+        # Distance-keyed and participant-keyed views now agree for every
+        # node of the original plan.
+        for node in plan.participants:
+            assert (node in pruned.participants) == \
+                math.isfinite(pruned.distances[node])
+        # The original plan is untouched (its own distances stay finite).
+        assert math.isfinite(plan.distances[1])
+        # Surviving participants keep their distances bit for bit.
+        for node in pruned.participants:
+            assert pruned.distances[node] == plan.distances[node]
+
     def test_forwarding_plan_wrapper(self, testbed):
         plan = forwarding_plan(testbed, 17, 2)
         unpruned = forwarding_plan(testbed, 17, 2, prune=False)

@@ -230,6 +230,18 @@ class TestTraceDriven:
         model.bind(self._topology())
         assert model.delivery_row(1, 1.5, 1.502)[2] == 0.3
 
+    def test_update_base_rewrites_only_untraced_links(self):
+        # Mobility hook: churned nominal values reach untraced links while
+        # traced links keep replaying their series (no stack rebuild).
+        model = TraceDriven(series={"0-1": [0.9, 0.1]}, interval=1.0)
+        topology = self._topology()
+        model.bind(topology)
+        churned = topology.delivery_matrix() * 0.5
+        model.update_base(churned)
+        assert model.delivery_row(0, 0.5, 0.502)[1] == 0.9   # traced: series
+        assert model.delivery_row(0, 1.5, 1.502)[1] == 0.1
+        assert model.delivery_row(1, 0.5, 0.502)[2] == 0.25  # untraced: churned
+
     def test_mean_matrix_is_time_average_when_wrapping(self):
         model = TraceDriven(series={"0-1": [1.0, 0.0]})
         model.bind(self._topology())

@@ -43,7 +43,7 @@ def _run_trace(preset_name: str, protocol: str, seed: int, engine: str):
     sim = _make_simulator(topology, config)
     control = config.control_view(topology)
     flow_id = _install_flow(sim, topology, protocol, source, destination, config,
-                            flow_seed=seed, control_topology=control)
+                            flow_seed=seed, control_topology=control).flow_id
     sim.run(until=config.max_duration, stop_condition=sim.stats.all_flows_complete)
     record = sim.stats.flows[flow_id]
     # Flow ids come from a process-global counter, so they differ between

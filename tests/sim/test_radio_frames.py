@@ -115,6 +115,37 @@ class TestOnoeAutorate:
             now += 0.1
         assert controller.current_rate(2) == SUPPORTED_RATES[0]
 
+    def test_windows_anchored_per_neighbor(self):
+        """Regression: disjoint traffic schedules must not share one window.
+
+        The old controller kept a single ``_last_update`` initialised to
+        0.0, so (a) the first observation window could close immediately —
+        a neighbour's very first frame was evaluated as a whole period —
+        and (b) any neighbour's frame closed the *global* window,
+        evaluating every other neighbour's sub-period statistics.
+        """
+        controller = OnoeRateController(period=1.0, credits_to_raise=1,
+                                        initial_rate=RATE_5_5MBPS)
+        # Neighbour 1: heavy loss, but all of it within 0.9 s — less than
+        # one period of its own window (anchored at its first frame, 0.0).
+        for i in range(10):
+            controller.record_result(1, success=False, retries=4, now=0.09 * i)
+        # Neighbour 2's first-ever frame arrives much later.  Previously
+        # this closed the shared window: neighbour 2 minted a credit from a
+        # single frame (instant rate raise with credits_to_raise=1) and
+        # neighbour 1 was stepped down on a sub-period sample.
+        controller.record_result(2, success=True, retries=0, now=2.0)
+        assert controller.current_rate(2) == RATE_5_5MBPS
+        assert controller.current_rate(1) == RATE_5_5MBPS
+        # A second frame for neighbour 2 a full period into ITS window does
+        # close it (two good frames -> credit -> raise).
+        controller.record_result(2, success=True, retries=0, now=3.1)
+        assert controller.current_rate(2) > RATE_5_5MBPS
+        # Neighbour 1 is evaluated on its own next frame, over its own
+        # window, and steps down on its accumulated losses.
+        controller.record_result(1, success=False, retries=4, now=3.2)
+        assert controller.current_rate(1) < RATE_5_5MBPS
+
     def test_rates_tracked_per_neighbor(self):
         controller = OnoeRateController(period=0.5)
         now = 0.0

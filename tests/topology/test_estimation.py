@@ -9,7 +9,7 @@ from repro.topology.estimation import (
     perfect_estimates,
     probe_estimated_topology,
 )
-from repro.topology.generator import two_hop_relay
+from repro.topology.generator import grid, two_hop_relay
 
 
 class TestProbeEstimates:
@@ -55,6 +55,40 @@ class TestProbeEstimates:
         assert estimated.node_count == testbed.node_count
         assert estimated.nodes[5].name == testbed.nodes[5].name
         assert estimated.nodes[5].position == testbed.nodes[5].position
+
+    def test_positions_carried_iff_every_node_has_one(self):
+        # Node 0 lacking a position must not decide for everyone (the old
+        # truthiness check inspected node 0 only), and a partially
+        # positioned topology must drop positions for all nodes rather
+        # than carrying a ragged mix — the mobility layer depends on
+        # positions either fully surviving estimation or cleanly absent.
+        from repro.topology.graph import Node
+
+        full = grid(2, 2)
+        estimated = probe_estimated_topology(full, seed=1)
+        assert estimated.node_positions() is not None
+        assert [n.position for n in estimated.nodes] == \
+            [n.position for n in full.nodes]
+
+        ragged = grid(2, 2)
+        ragged.nodes[0] = Node(0, name=ragged.nodes[0].name, position=())
+        assert ragged.node_positions() is None
+        estimated = probe_estimated_topology(ragged, seed=1)
+        assert estimated.node_positions() is None
+
+        # The inverse mix: node 0 positioned, a later node not — the old
+        # node-0-only check carried a ragged position list.
+        ragged_tail = grid(2, 2)
+        ragged_tail.nodes[3] = Node(3, name=ragged_tail.nodes[3].name, position=())
+        estimated = probe_estimated_topology(ragged_tail, seed=1)
+        assert estimated.node_positions() is None
+
+    def test_tuple_seed_gives_independent_refresh_noise(self, testbed):
+        a = probe_estimated_topology(testbed, probe_count=100, seed=(3, 1))
+        b = probe_estimated_topology(testbed, probe_count=100, seed=(3, 1))
+        c = probe_estimated_topology(testbed, probe_count=100, seed=(3, 2))
+        assert np.allclose(a.delivery_matrix(), b.delivery_matrix())
+        assert not np.allclose(a.delivery_matrix(), c.delivery_matrix())
 
     def test_invalid_arguments(self, testbed):
         with pytest.raises(ValueError):
