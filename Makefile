@@ -5,8 +5,8 @@ PYTHON  ?= python
 WORKERS ?= 4
 ENV      = PYTHONPATH=src
 
-.PHONY: check lint test test-engine bench bench-baseline profile docs-check \
-        figures examples clean
+.PHONY: check lint test test-engine test-coding bench bench-baseline profile \
+        docs-check figures examples clean
 
 # The pre-merge gate: lint, the engine differential tests (fail fast on a
 # hot-path regression), then the full tier-1 suite.
@@ -27,6 +27,12 @@ test:
 test-engine:
 	$(ENV) $(PYTHON) -m pytest -x -q tests/sim/test_events.py \
 		tests/sim/test_engine_differential.py
+
+# The coding/GF gate alone: every buffer engine and elimination kernel
+# against the scalar reference (property streams, edge cases, differential
+# suites).  The CI coverage job runs the same selection under pytest-cov.
+test-coding:
+	$(ENV) $(PYTHON) -m pytest -x -q tests/coding tests/gf
 
 # The paper-evaluation benchmarks only (add PYTEST_ARGS=--paper-scale for
 # the full 5 MB transfers).

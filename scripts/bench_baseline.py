@@ -13,10 +13,17 @@ root, so later PRs have a committed baseline to regress against:
     make bench-baseline                 # or
     PYTHONPATH=src python scripts/bench_baseline.py [output.json]
 
-Schema ``bench-baseline/v3`` adds the ``engine`` section (``engine_eps``,
+Schema ``bench-baseline/v3`` added the ``engine`` section (``engine_eps``,
 ``engine_eps_legacy``, ``engine_speedup``, ``more_end_to_end_speedup``,
 ``large_mesh_200_wall_seconds``) and a ``sim_fps`` field (data frames on
-the air per wall-clock second) for every protocol entry — see
+the air per wall-clock second) for every protocol entry.  Schema
+``bench-baseline/v4`` adds the ``decode_engines`` stage (insert-plus-decode
+packet rates for the vectorized / eager / scalar coding-buffer engines and
+the speedup against the v3 committed decode baseline) and the kilonode
+entries in ``engine`` (``kilonode_wall_seconds`` / ``kilonode_sim_fps``:
+the 1000-node preset).  ``destination_decode_pps`` now *includes* the
+final ``decode()`` call — the deferred-transform engine moves the payload
+back-substitution there, so an insert-only loop would overstate it — see
 docs/performance.md for how to read the file.
 
 Every quantity is measured best-of-N (minimum over rounds), the same
@@ -40,6 +47,7 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.coding.buffer import ENGINES                  # noqa: E402
 from repro.coding.decoder import BatchDecoder            # noqa: E402
 from repro.coding.encoder import ForwarderEncoder, SourceEncoder  # noqa: E402
 from repro.coding.packet import make_batch               # noqa: E402
@@ -60,6 +68,11 @@ from repro.topology.generator import random_geometric    # noqa: E402
 K = 32
 PACKET_SIZE = 1500
 ROUNDS = 5
+#: ``destination_decode_pps`` committed by the bench-baseline/v3 run (the
+#: eager engine, insert loop only).  The vectorized engine's floor is 3x
+#: this figure — asserted by ``benchmarks/test_decode_floor.py`` and
+#: recorded here as ``decode_speedup_vs_v3_baseline``.
+V3_DECODE_BASELINE_PPS = 3790.919869913409
 MEDIUM_NODES = WirelessMedium.BENCH_NODE_COUNT
 MEDIUM_FRAMES = WirelessMedium.BENCH_FRAMES
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_coding.json"
@@ -112,6 +125,7 @@ def coding_benchmarks() -> dict[str, float]:
         decoder = BatchDecoder(batch_size=K, packet_size=PACKET_SIZE)
         for coded in packets:
             decoder.add_packet(coded)
+        decoder.decode()  # deferred engines back-substitute here
 
     decode_s = best_of(lambda: timed(decode_batch)) / K
 
@@ -131,6 +145,38 @@ def coding_benchmarks() -> dict[str, float]:
         "destination_decode_pps": 1.0 / decode_s,
         "forwarder_recode_pps": 1.0 / recode_s,
     }
+
+
+def decode_engine_benchmarks() -> dict[str, float]:
+    """Insert-plus-decode packet rates for every coding-buffer engine.
+
+    One measured unit is a full destination batch: K coded packets through
+    ``BatchDecoder.add_packet`` followed by ``decode()`` — the quantity
+    the deferred-transform (vectorized) engine actually changes, and the
+    same one ``benchmarks/test_decode_floor.py`` holds to 3x the v3
+    committed baseline.
+    """
+    batch = make_batch(batch_size=K, packet_size=PACKET_SIZE,
+                       rng=np.random.default_rng(1))
+    encoder = SourceEncoder(batch, np.random.default_rng(2))
+    packets = encoder.next_packets(K)
+
+    def decode_with(engine: str) -> float:
+        def once() -> None:
+            decoder = BatchDecoder(batch_size=K, packet_size=PACKET_SIZE,
+                                   engine=engine)
+            for coded in packets:
+                decoder.add_packet(coded)
+            decoder.decode()
+        return best_of(lambda: timed(once)) / K
+
+    rates = {f"decode_{engine}_pps": 1.0 / decode_with(engine)
+             for engine in ENGINES}
+    rates["decode_engine_speedup"] = (
+        rates["decode_vectorized_pps"] / rates["decode_eager_pps"])
+    rates["decode_speedup_vs_v3_baseline"] = (
+        rates["decode_vectorized_pps"] / V3_DECODE_BASELINE_PPS)
+    return rates
 
 
 def medium_benchmarks() -> dict[str, float]:
@@ -242,6 +288,19 @@ def scale_benchmarks() -> dict[str, float]:
     }
 
 
+def kilonode_benchmarks() -> dict[str, float]:
+    """The ``kilonode`` preset: one capped MORE flow across 1000 nodes."""
+    spec = get_preset("kilonode")
+    topology = build_topology(spec.topology)
+    source, destination = spec.workload.params["pairs"][0]
+    config = spec.run_config(seed=spec.seeds[0])
+    flow = _measure_flow(topology, "MORE", source, destination, config, rounds=3)
+    return {
+        "kilonode_wall_seconds": flow["wall_seconds"],
+        "kilonode_sim_fps": flow["sim_fps"],
+    }
+
+
 def main(argv: list[str]) -> int:
     output = Path(argv[0]) if argv else DEFAULT_OUTPUT
     protocols = protocol_benchmarks()
@@ -250,11 +309,13 @@ def main(argv: list[str]) -> int:
         protocols["MORE/legacy-engine"]["wall_seconds"]
         / protocols["MORE"]["wall_seconds"])
     engine.update(scale_benchmarks())
+    engine.update(kilonode_benchmarks())
     report = {
-        "schema": "bench-baseline/v3",
+        "schema": "bench-baseline/v4",
         "config": {"batch_size": K, "packet_size": PACKET_SIZE, "rounds": ROUNDS,
                    "medium_nodes": MEDIUM_NODES, "medium_frames": MEDIUM_FRAMES,
-                   "engine_events": BENCH_EVENTS},
+                   "engine_events": BENCH_EVENTS,
+                   "v3_decode_baseline_pps": V3_DECODE_BASELINE_PPS},
         "machine": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -262,6 +323,7 @@ def main(argv: list[str]) -> int:
         },
         "kernels_mbps": kernel_benchmarks(),
         "coding_pps": coding_benchmarks(),
+        "decode_engines": decode_engine_benchmarks(),
         "medium_fps": medium_benchmarks(),
         "engine": engine,
         "protocols": protocols,

@@ -14,24 +14,64 @@ payload so the destination can later decode with a cheap back-substitution
 free pass (the rows are maintained in *reduced* row-echelon form as the
 paper's decoder does).
 
-The rows live in two contiguous matrices (code vectors ``K x K``, payloads
-``K x S``) so every reduction is a vectorized kernel call from
-:mod:`repro.gf.kernels` rather than a K-iteration Python loop.  Because the
-stored matrix is in *reduced* row-echelon form, reducing an incoming vector
-against all pivots simultaneously (one ``(1, r) @ (r, K)`` product) is
-bit-identical to the paper's sequential row-by-row elimination: no stored
-row has a non-zero entry in another row's pivot column, so no reduction
-step can change the coefficient a later step reads.
+Three engines implement the same contract (selected by ``engine=``, all
+bit-identical — GF(2^8) arithmetic is exact, so any algebraically equal
+reformulation produces the same bytes):
+
+``vectorized`` (the default)
+    Payload arithmetic leaves the per-insert path entirely.  Each stored
+    row is the code vector *augmented with a transform row*: the row's
+    linear combination over the raw payloads admitted so far.  Inserts
+    eliminate over the ``K x 2K`` combined matrix (code columns + transform
+    columns) and stash the raw payload untouched; the reduced payload
+    matrix is materialised lazily — one ``(rank, rank) @ (rank, S)``
+    product, cached until the next insert — when a decode, pre-code or
+    inspection actually needs the bytes.  Deferring the back-substitution
+    this way is what turns per-packet payload elimination (two O(K * S)
+    row passes per arrival) into a single batched product per rank
+    advance/batch completion.
+
+``eager``
+    The pre-deferral vectorized path: payload rows are reduced in place on
+    every insert with the same kernels.  Kept selectable so the deferral
+    itself stays measurable.
+
+``scalar``
+    The original reference schedule — payloads reduced eagerly through the
+    general matmul dispatch — retained as the reference side of the engine
+    differential and property tests.
+
+The elimination inner loop's ``vector @ matrix`` kernel is itself
+selectable (``kernel=``, see :data:`repro.gf.kernels.VECMAT_KERNELS`):
+``mul`` (64 KiB product-table gather, the measured default), ``nibble``
+(split 4 KiB tables) or ``logexp`` (LOG/EXP gather).
+
+Because the stored matrix is in *reduced* row-echelon form, reducing an
+incoming vector against all pivots simultaneously (one ``(1, r) @ (r, K)``
+product) is bit-identical to the paper's sequential row-by-row elimination:
+no stored row has a non-zero entry in another row's pivot column, so no
+reduction step can change the coefficient a later step reads.
 """
 
 from __future__ import annotations
+
+from collections.abc import Iterable
 
 import numpy as np
 
 from repro.coding.packet import CodedPacket
 from repro.gf.arithmetic import _zero_bytes, vec_scale
-from repro.gf.kernels import gf_outer, gf_vecmat, gf_vecmat_reference
-from repro.gf.tables import INV
+from repro.gf.kernels import (
+    gf_matmul,
+    gf_outer,
+    gf_vecmat,
+    gf_vecmat_reference,
+    resolve_vecmat,
+)
+from repro.gf.tables import INV, MUL
+
+#: The insertion engines of :class:`BatchBuffer`; all bit-identical.
+ENGINES = ("vectorized", "eager", "scalar")
 
 
 class BatchBuffer:
@@ -46,31 +86,59 @@ class BatchBuffer:
         track_payloads: when False only code vectors are stored; forwarders
             that merely need rank information (e.g. in analytical tests) can
             avoid the payload memory.
+        fast: legacy selector kept for the PR 4 engine dual-pathing:
+            ``fast=True`` maps to the ``vectorized`` engine, ``fast=False``
+            to the ``scalar`` reference.  An explicit ``engine=`` wins.
+        engine: ``"vectorized"``, ``"eager"`` or ``"scalar"`` (see module
+            docstring); ``None`` derives the engine from ``fast``.
+        kernel: the elimination inner-loop kernel for the ``vectorized``
+            engine — a key of :data:`repro.gf.kernels.VECMAT_KERNELS`.
     """
 
     def __init__(self, batch_size: int, packet_size: int, track_payloads: bool = True,
-                 fast: bool = True) -> None:
+                 fast: bool = True, engine: str | None = None,
+                 kernel: str = "mul") -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if packet_size < 0:
             raise ValueError("packet_size must be non-negative")
+        if engine is None:
+            engine = "vectorized" if fast else "scalar"
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.batch_size = batch_size
         self.packet_size = packet_size
         self.track_payloads = track_payloads
-        #: ``fast=False`` keeps the original (pre-optimisation) reduction
-        #: schedule — payloads reduced eagerly in phase 1 through the
-        #: general matmul dispatch — as the reference side of the engine
-        #: differential tests; results are bit-identical either way.
-        self.fast = fast
-        # Row i, when occupied, has its leading non-zero coefficient at
-        # column i.  Unoccupied rows stay all-zero.
-        self._matrix = np.zeros((batch_size, batch_size), dtype=np.uint8)
-        self._payload_rows = (np.zeros((batch_size, packet_size), dtype=np.uint8)
-                              if track_payloads else None)
+        self.engine = engine
+        #: Mirrors the engine choice for the PR 4-era dual-path call sites:
+        #: True for the optimised engines, False for the scalar reference.
+        self.fast = engine != "scalar"
+        self._vecmat = resolve_vecmat(kernel)
+        self.kernel = kernel
         self._occupied = np.zeros(batch_size, dtype=bool)
         self._rank = 0
         self.received = 0
         self.innovative = 0
+        if engine == "vectorized":
+            # Combined matrix: columns [0, K) hold the reduced code vectors,
+            # columns [K, 2K) the transform rows (coefficients over the raw
+            # payloads in admission order).  Transform columns are only
+            # maintained when payload bytes can ever be asked for.
+            self._with_transform = track_payloads and packet_size > 0
+            width = 2 * batch_size if self._with_transform else batch_size
+            self._ops = np.zeros((batch_size, width), dtype=np.uint8)
+            self._matrix = self._ops[:, :batch_size]
+            self._raw = (np.zeros((batch_size, packet_size), dtype=np.uint8)
+                         if self._with_transform else None)
+            self._payload_cache: np.ndarray | None = None
+            self._payload_rows = None
+        else:
+            # Row i, when occupied, has its leading non-zero coefficient at
+            # column i.  Unoccupied rows stay all-zero.
+            self._ops = None
+            self._matrix = np.zeros((batch_size, batch_size), dtype=np.uint8)
+            self._payload_rows = (np.zeros((batch_size, packet_size), dtype=np.uint8)
+                                  if track_payloads else None)
 
     @property
     def rank(self) -> int:
@@ -100,6 +168,85 @@ class BatchBuffer:
                 f"buffer batch size {self.batch_size}"
             )
         self.received += 1
+        if self.engine == "vectorized":
+            return self._add_vectorized(packet)
+        return self._add_eager(packet)
+
+    def add_packets(self, packets: Iterable[CodedPacket]) -> list[bool]:
+        """Insert a whole reception event's packets; one verdict per packet.
+
+        The batch-insert entry point of the vectorized engine: payload
+        back-substitution is deferred across the entire event, so N inserts
+        cost N code-vector eliminations and zero payload arithmetic — the
+        payload matrix materialises once, on the first decode or pre-code
+        after the event.
+        """
+        return [self.add(packet) for packet in packets]
+
+    def _add_vectorized(self, packet: CodedPacket) -> bool:
+        """Deferred-transform insert: code vector + transform row only."""
+        batch_size = self.batch_size
+        with_transform = self._with_transform
+        if self.track_payloads:
+            payload = packet.payload
+            if payload.shape[0] != self.packet_size:
+                raise ValueError(
+                    f"payload length {payload.shape[0]} does not match buffer "
+                    f"packet size {self.packet_size}"
+                )
+        ops = self._ops
+        slot = self._rank
+        extended = np.zeros(ops.shape[1], dtype=np.uint8)
+        extended[:batch_size] = packet.code_vector
+        if with_transform and slot < batch_size:
+            # This arrival would occupy raw slot ``slot``; rows carry their
+            # combination over admitted arrivals in the transform columns.
+            extended[batch_size + slot] = 1
+        # Active width: code columns plus the transform columns in use.  No
+        # stored row (nor the incoming one) has a non-zero entry beyond it.
+        width = batch_size + slot + 1 if with_transform else batch_size
+        pivots = np.nonzero(self._occupied)[0]
+        if pivots.size:
+            coefficients = extended[pivots]
+            if coefficients.tobytes() != _zero_bytes(pivots.size):
+                extended[:width] ^= self._vecmat(
+                    coefficients, ops[pivots.reshape(-1, 1), self._cols(width)])
+        remaining = np.nonzero(extended[:batch_size])[0]
+        if remaining.size == 0:
+            # Vector reduced to zero: the packet is not innovative; its
+            # payload was never read.
+            return False
+        column = int(remaining[0])
+        inverse = int(INV[int(extended[column])])
+        if inverse != 1:
+            extended[:width] = vec_scale(extended[:width], inverse)
+        if pivots.size:
+            factors = ops[pivots, column]
+            mask = factors != 0
+            hit = pivots[mask]
+            if hit.size:
+                # Rank-1 update clearing the new pivot column from every
+                # stored row at once; the MUL-table outer product beats the
+                # LOG/EXP formulation at these widths.
+                ops[hit, :width] ^= MUL[factors[mask][:, None], extended[:width]]
+        ops[column] = extended
+        self._occupied[column] = True
+        self._rank += 1
+        self.innovative += 1
+        if with_transform:
+            self._raw[slot] = payload
+        self._payload_cache = None
+        return True
+
+    def _cols(self, width: int) -> np.ndarray:
+        """Column index vector for active-width advanced indexing."""
+        cols = getattr(self, "_cols_cache", None)
+        if cols is None:
+            cols = self._cols_cache = np.arange(self._ops.shape[1])
+        return cols[:width]
+
+    def _add_eager(self, packet: CodedPacket) -> bool:
+        """The eager engines: payload rows reduced in place per insert."""
         vector = packet.code_vector.copy()
         payload = packet.payload.copy() if self.track_payloads else None
         if payload is not None and payload.shape[0] != self.packet_size:
@@ -184,25 +331,48 @@ class BatchBuffer:
 
     def stored_packets(self) -> list[CodedPacket]:
         """Return the stored (reduced) packets as :class:`CodedPacket` objects."""
-        packets = []
-        for column in self.occupied_pivots():
-            if self._payload_rows is not None:
-                payload = self._payload_rows[column].copy()
-            else:
-                payload = np.zeros(self.packet_size, dtype=np.uint8)
-            packets.append(CodedPacket(code_vector=self._matrix[column].copy(),
-                                       payload=payload))
-        return packets
+        pivots = self.occupied_pivots()
+        if not pivots:
+            return []
+        if self.track_payloads:
+            payloads = self.payload_matrix()
+        else:
+            payloads = np.zeros((len(pivots), self.packet_size), dtype=np.uint8)
+        return [
+            CodedPacket(code_vector=self._matrix[column].copy(),
+                        payload=payloads[index].copy())
+            for index, column in enumerate(pivots)
+        ]
 
     def coefficient_matrix(self) -> np.ndarray:
         """Return the stored code vectors stacked as a rank x K matrix."""
         return self._matrix[self._occupied].copy()
 
     def payload_matrix(self) -> np.ndarray:
-        """Return the stored payloads stacked as a rank x S matrix."""
-        if self._payload_rows is None:
+        """Return the stored payloads stacked as a rank x S matrix.
+
+        Under the ``vectorized`` engine this is where the deferred
+        back-substitution lands: the reduced payloads are one
+        ``transform @ raw_payloads`` product, computed on first request
+        after a rank advance and cached until the next insert.
+        """
+        if not self.track_payloads:
             raise RuntimeError("buffer was created without payload tracking")
-        return self._payload_rows[self._occupied].copy()
+        if self.engine != "vectorized":
+            return self._payload_rows[self._occupied].copy()
+        cache = self._payload_cache
+        if cache is None:
+            cache = self._payload_cache = self._materialize_payloads()
+        return cache.copy()
+
+    def _materialize_payloads(self) -> np.ndarray:
+        """Reduce the admitted raw payloads through the stored transform."""
+        count = self._rank
+        if not self._with_transform or count == 0:
+            return np.zeros((count, self.packet_size), dtype=np.uint8)
+        batch_size = self.batch_size
+        transform = self._ops[self._occupied, batch_size:batch_size + count]
+        return gf_matmul(transform, self._raw[:count])
 
     def decode(self) -> np.ndarray:
         """Recover the K native payloads; requires a full-rank buffer.
@@ -218,7 +388,7 @@ class BatchBuffer:
             RuntimeError: if the buffer is not yet full rank or payloads are
                 not tracked.
         """
-        if self._payload_rows is None:
+        if not self.track_payloads:
             raise RuntimeError("cannot decode a buffer created without payload tracking")
         if not self.is_full:
             raise RuntimeError(
@@ -228,8 +398,14 @@ class BatchBuffer:
 
     def clear(self) -> None:
         """Drop all stored state (used when a batch is flushed)."""
-        self._matrix[:] = 0
-        if self._payload_rows is not None:
-            self._payload_rows[:] = 0
+        if self._ops is not None:
+            self._ops[:] = 0
+            if self._raw is not None:
+                self._raw[:] = 0
+            self._payload_cache = None
+        else:
+            self._matrix[:] = 0
+            if self._payload_rows is not None:
+                self._payload_rows[:] = 0
         self._occupied[:] = False
         self._rank = 0

@@ -6,12 +6,17 @@ vectors (Section 3.1.3).  Two implementations are provided:
 
 * :class:`BatchDecoder` — the production decoder, built on
   :class:`~repro.coding.buffer.BatchBuffer`, which performs incremental
-  Gauss–Jordan elimination per arrival so the final decode is free.
+  Gauss–Jordan elimination per arrival.  Under the default ``vectorized``
+  engine the payload back-substitution is deferred: inserts touch code
+  vectors (plus the transform columns) only, and :meth:`BatchDecoder.decode`
+  materialises all K native payloads with a single batched product.
 * :func:`decode_by_inversion` — the literal matrix-inversion formulation
   from the paper, used as a cross-check in tests and benchmarks.
 """
 
 from __future__ import annotations
+
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -21,12 +26,21 @@ from repro.gf.matrix import SingularMatrixError, invert, matmul
 
 
 class BatchDecoder:
-    """Collects coded packets of one batch and decodes once full rank."""
+    """Collects coded packets of one batch and decodes once full rank.
+
+    ``engine`` / ``kernel`` select the insertion engine and elimination
+    kernel of the underlying buffer (see
+    :class:`~repro.coding.buffer.BatchBuffer`); ``fast`` is the PR 4-era
+    selector (``True`` = ``vectorized``, ``False`` = ``scalar``) that an
+    explicit ``engine=`` overrides.
+    """
 
     def __init__(self, batch_size: int, packet_size: int, batch_id: int = 0,
-                 fast: bool = True) -> None:
+                 fast: bool = True, engine: str | None = None,
+                 kernel: str = "mul") -> None:
         self.batch_id = batch_id
-        self.buffer = BatchBuffer(batch_size, packet_size, fast=fast)
+        self.buffer = BatchBuffer(batch_size, packet_size, fast=fast,
+                                  engine=engine, kernel=kernel)
 
     @property
     def rank(self) -> int:
@@ -46,6 +60,16 @@ class BatchDecoder:
     def add_packet(self, packet: CodedPacket) -> bool:
         """Insert a received packet; returns True iff it was innovative."""
         return self.buffer.add(packet)
+
+    def add_packets(self, packets: Iterable[CodedPacket]) -> list[bool]:
+        """Insert one reception event's packets; one verdict per packet.
+
+        Under the ``vectorized`` engine the whole event costs only
+        code-vector eliminations — no payload arithmetic happens until
+        :meth:`decode` (or an explicit payload inspection) materialises the
+        deferred back-substitution in one batched product.
+        """
+        return self.buffer.add_packets(packets)
 
     def decode(self) -> list[NativePacket]:
         """Recover the native packets.

@@ -110,13 +110,16 @@ class ForwarderEncoder:
     """
 
     def __init__(self, batch_size: int, packet_size: int, rng: np.random.Generator,
-                 batch_id: int = 0, fast: bool = True) -> None:
-        self.buffer = BatchBuffer(batch_size, packet_size, fast=fast)
+                 batch_id: int = 0, fast: bool = True,
+                 engine: str | None = None, kernel: str = "mul") -> None:
+        self.buffer = BatchBuffer(batch_size, packet_size, fast=fast,
+                                  engine=engine, kernel=kernel)
         self.rng = rng
         self.batch_id = batch_id
         #: ``fast=False`` routes the pre-code products through the original
-        #: matmul dispatch (the engine differential reference path).
-        self.fast = fast
+        #: matmul dispatch (the engine differential reference path).  The
+        #: buffer resolves the ``fast``/``engine`` precedence; mirror it.
+        self.fast = self.buffer.fast
         self._precoded_vector: np.ndarray | None = None
         self._precoded_payload: np.ndarray | None = None
         self.packets_generated = 0

@@ -146,8 +146,11 @@ def refresh_more_flow(sim: "Simulator", handle: MoreFlowHandle,
     existing forwarder re-derives its cached credits / upstream sets.
     """
     spec = handle.spec
+    # A flow set up with a relay cap (kilonode relay-count axis) keeps the
+    # same cap across refreshes — top-N by expected load, not the 10% rule.
     plan = forwarding_plan(control, spec.source, spec.destination,
-                           metric=config.more_metric, prune=True)
+                           metric=config.more_metric, prune=True,
+                           max_forwarders=spec.max_relays)
     ack_route = best_path(control, spec.destination, spec.source)
     intermediates = plan.forwarder_list(include_endpoints=False)
     spec.forwarders = [

@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.coding.buffer import ENGINES as CODING_ENGINES
 from repro.experiments.refresh import LinkStateRefresher
 from repro.protocols.exor import setup_exor_flow
 from repro.protocols.more import setup_more_flow
@@ -111,11 +112,28 @@ class RunConfig:
     #: (the pre-optimisation reference; bit-identical results, slower —
     #: see :class:`repro.sim.radio.SimConfig` and docs/performance.md).
     engine: str = "fast"
+    #: Coding-buffer insertion engine for MORE flows: ``auto`` (default;
+    #: follows ``engine`` — vectorized deferred-transform under ``fast``,
+    #: the scalar reference under ``legacy``) or an explicit
+    #: ``vectorized`` / ``eager`` / ``scalar``.  All bit-identical; see
+    #: :class:`repro.coding.buffer.BatchBuffer` and docs/performance.md.
+    decode_engine: str = "auto"
+    #: Cap on each MORE flow's forwarder-list length (the relay-count axis
+    #: of the kilonode tier): the ``N`` highest-expected-load relays are
+    #: kept in place of the 10% pruning rule, which degenerates at kilonode
+    #: density (see :func:`repro.metrics.credits.cap_forwarders`).
+    #: ``None`` keeps the full pruned plan.
+    max_relays: int | None = None
 
     def __post_init__(self) -> None:
         self.refresh_period = float(self.refresh_period)
         if self.refresh_period <= 0:
             raise ValueError("refresh_period must be positive (inf = never)")
+        if self.decode_engine not in ("auto",) + CODING_ENGINES:
+            raise ValueError(
+                f"unknown decode_engine {self.decode_engine!r}; expected "
+                f"'auto' or one of {CODING_ENGINES}"
+            )
 
     def channel_spec(self) -> ChannelSpec | None:
         """The channel-model spec for the simulator (``None`` = static)."""
@@ -177,6 +195,8 @@ def _install_flow(sim: Simulator, topology: Topology, protocol: str, source: int
             metric=config.more_metric,
             seed=flow_seed,
             control_topology=control_topology,
+            decode_engine=config.decode_engine,
+            max_relays=config.max_relays,
         )
         return handle
     if protocol == "ExOR":

@@ -10,6 +10,10 @@ This module implements the machinery of Section 3.2.1 and Section 5.6:
   makes per packet heard from upstream, which is the quantity MORE nodes
   actually use at run time (the credit counter increment).
 * :func:`prune_forwarders` — the 10% pruning rule.
+* :func:`cap_forwarders` — the fixed-size alternative (top-N relays by
+  expected load), which is what keeps kilonode meshes routable: at that
+  density the load spreads so thin that the fraction rule prunes *every*
+  relay.
 * :func:`load_distribution` — Algorithm 6: the flow-method computation of
   ``z`` and the edge flows ``x_ij`` from the per-node costs, which
   Section 5.6.2 shows coincides with Algorithm 1 when the EOTX order is
@@ -214,11 +218,46 @@ def prune_forwarders(topology: Topology, plan: TransmissionPlan,
             keep.append(node)
         elif plan.z[node] >= fraction * total:
             keep.append(node)
+    return _restricted_plan(topology, plan, keep)
+
+
+def cap_forwarders(topology: Topology, plan: TransmissionPlan,
+                   max_forwarders: int) -> TransmissionPlan:
+    """Keep at most ``max_forwarders`` relays: the highest-load ones.
+
+    This is the deterministic-size counterpart of the 10% rule, mirroring
+    the fixed forwarder-list budget of MORE's packet header.  The fraction
+    rule degenerates on dense kilonode meshes — the expected load spreads
+    over a hundred-plus candidates so *no* relay reaches 10% of the total
+    and pruning strands the flow — whereas keeping the ``max_forwarders``
+    relays with the largest expected transmission counts ``z_i`` retains
+    the backbone that actually carries the traffic.  The source and
+    destination are never counted against the cap, credits are recomputed
+    over the survivors, and dropped relays lose their metric distance,
+    exactly as in :func:`prune_forwarders`.
+    """
+    if max_forwarders < 0:
+        raise ValueError("max_forwarders must be non-negative")
+    relays = [node for node in plan.participants
+              if node not in (plan.source, plan.destination)]
+    if len(relays) <= max_forwarders:
+        return plan
+    top = set(sorted(relays, key=lambda node: (-plan.z[node], plan.distances[node],
+                                               node))[:max_forwarders])
+    keep = [node for node in plan.participants
+            if node in (plan.source, plan.destination) or node in top]
+    return _restricted_plan(topology, plan, keep)
+
+
+def _restricted_plan(topology: Topology, plan: TransmissionPlan,
+                     keep: list[int]) -> TransmissionPlan:
+    """Rebuild a plan over the surviving participants ``keep`` (in order)."""
+    kept = set(keep)
     pruned_z = plan.z.copy()
     pruned_load = plan.load.copy()
     pruned_distances = plan.distances.copy()
     for node in plan.participants:
-        if node not in keep:
+        if node not in kept:
             pruned_z[node] = 0.0
             pruned_load[node] = 0.0
             pruned_distances[node] = math.inf
@@ -295,16 +334,25 @@ def load_distribution(topology: Topology, source: int, destination: int,
 def forwarding_plan(topology: Topology, source: int, destination: int,
                     metric: str = "etx", prune: bool = True,
                     pruning_fraction: float = DEFAULT_PRUNING_FRACTION,
-                    threshold: float = DEFAULT_LINK_THRESHOLD) -> TransmissionPlan:
+                    threshold: float = DEFAULT_LINK_THRESHOLD,
+                    max_forwarders: int | None = None) -> TransmissionPlan:
     """Build the forwarder list + credits a MORE source puts in its headers.
 
     This is Algorithm 1 followed by the 10% pruning rule.  ``metric`` selects
     the ordering: the deployed MORE uses ETX (Section 5.7 notes both
     protocols pre-date EOTX); pass ``"eotx"`` for the theoretically optimal
     ordering.
+
+    ``max_forwarders`` swaps the fraction rule for the fixed-size cap of
+    :func:`cap_forwarders` (top-``N`` relays by expected load) — the form
+    of pruning that survives kilonode densities, where the 10% rule keeps
+    no relay at all.  ``None`` (the default) keeps the fraction rule,
+    today's behaviour bit for bit.
     """
     plan = expected_transmissions(topology, source, destination, metric=metric,
                                   threshold=threshold)
-    if prune:
+    if max_forwarders is not None:
+        plan = cap_forwarders(topology, plan, max_forwarders)
+    elif prune:
         plan = prune_forwarders(topology, plan, fraction=pruning_fraction)
     return plan

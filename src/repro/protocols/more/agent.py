@@ -68,6 +68,15 @@ class MoreFlowSpec:
         total_packets: total native packets in the transfer.
         batch_count: number of batches.
         bitrate: optional fixed bit-rate override for this flow's data.
+        decode_engine: insertion-engine selector for this flow's buffers
+            and decoders (``"auto"`` follows the simulator engine:
+            ``vectorized`` under the fast engine, ``scalar`` under
+            ``engine="legacy"``; an explicit ``"vectorized"`` / ``"eager"``
+            / ``"scalar"`` pins it — see
+            :class:`repro.coding.buffer.BatchBuffer`).
+        max_relays: optional cap on the forwarder list length (the
+            relay-count axis of the kilonode tier); ``None`` keeps the
+            full pruned plan.
     """
 
     flow_id: int
@@ -83,6 +92,8 @@ class MoreFlowSpec:
     total_packets: int
     batch_count: int
     bitrate: int | None = None
+    decode_engine: str = "auto"
+    max_relays: int | None = None
     # Per-flow constants, memoised on first use (the spec is immutable once
     # installed and these sit on the per-frame hot path).
     _header_size: int | None = field(default=None, init=False, repr=False,
@@ -162,6 +173,16 @@ class MoreFlowSpec:
         if position + 1 >= len(self.ack_route):
             return None
         return self.ack_route[position + 1]
+
+    def buffer_engine(self) -> str | None:
+        """The ``engine=`` argument for this flow's buffers and decoders.
+
+        ``"auto"`` maps to ``None`` so the buffer derives the engine from
+        the agent's ``fast`` flag (vectorized under the fast simulator
+        engine, the scalar reference under ``engine="legacy"``); anything
+        else is passed through verbatim.
+        """
+        return None if self.decode_engine == "auto" else self.decode_engine
 
     def is_upstream(self, sender: int, receiver: int) -> bool:
         """True if ``sender`` is farther from the destination than ``receiver``."""
@@ -258,6 +279,7 @@ class _ForwarderState:
                 rng=self.rng,
                 batch_id=batch_id,
                 fast=self.fast,
+                engine=self.spec.buffer_engine(),
             )
         return self.encoder
 
@@ -307,6 +329,7 @@ class _DestinationState:
                 packet_size=self.spec.coding_payload_size,
                 batch_id=batch_id,
                 fast=self.fast,
+                engine=self.spec.buffer_engine(),
             )
         return self.decoder
 

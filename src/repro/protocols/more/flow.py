@@ -94,7 +94,9 @@ def setup_more_flow(sim: Simulator, topology: Topology, source: int, destination
                     prune: bool = True, bitrate: int | None = None,
                     seed: int = 0, flow_id: int | None = None,
                     start_time: float = 0.0,
-                    control_topology: Topology | None = None) -> MoreFlowHandle:
+                    control_topology: Topology | None = None,
+                    decode_engine: str = "auto",
+                    max_relays: int | None = None) -> MoreFlowHandle:
     """Install a MORE file transfer from ``source`` to ``destination``.
 
     Exactly one of ``file_bytes`` and ``total_packets`` must be provided.
@@ -126,6 +128,16 @@ def setup_more_flow(sim: Simulator, topology: Topology, source: int, destination
         seed: seed for the per-node coding RNGs.
         flow_id: explicit flow id (auto-assigned when omitted).
         start_time: when the source starts transmitting.
+        decode_engine: buffer/decoder insertion engine for this flow
+            (``"auto"`` follows the simulator engine; see
+            :class:`repro.coding.buffer.BatchBuffer`).
+        max_relays: cap the forwarder list at this many relays — the
+            highest-expected-load ones, replacing the 10% pruning rule
+            (:func:`repro.metrics.credits.cap_forwarders`).  This is the
+            relay-count axis of the kilonode tier, where the fraction rule
+            degenerates (load spreads so thin no relay reaches 10% of the
+            total and the flow strands).  ``None`` keeps the full pruned
+            plan, today's behaviour bit for bit.
 
     Returns:
         A :class:`MoreFlowHandle`.
@@ -156,7 +168,8 @@ def setup_more_flow(sim: Simulator, topology: Topology, source: int, destination
     total = sum(batch.size for batch in batches)
 
     control = control_topology if control_topology is not None else topology
-    plan = forwarding_plan(control, source, destination, metric=metric, prune=prune)
+    plan = forwarding_plan(control, source, destination, metric=metric, prune=prune,
+                           max_forwarders=max_relays)
     intermediates = plan.forwarder_list(include_endpoints=False)
     forwarder_entries = [
         ForwarderEntry(node_id=node, tx_credit=float(plan.tx_credit[node]))
@@ -180,6 +193,8 @@ def setup_more_flow(sim: Simulator, topology: Topology, source: int, destination
         total_packets=total,
         batch_count=len(batches),
         bitrate=bitrate,
+        decode_engine=decode_engine,
+        max_relays=max_relays,
     )
 
     source_agent = _get_or_create_agent(sim, source, seed)

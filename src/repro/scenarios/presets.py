@@ -15,7 +15,7 @@ import copy
 
 from repro.scenarios.spec import ScenarioSpec, TopologySpec, WorkloadSpec
 from repro.sim.channels import ChannelSpec
-from repro.sim.radio import RATE_11MBPS
+from repro.sim.radio import RATE_5_5MBPS, RATE_11MBPS
 from repro.topology.mobility import MobilitySpec
 
 #: The synthetic 20-node, 3-floor indoor testbed of every Chapter 4 figure
@@ -209,6 +209,63 @@ register(ScenarioSpec(
     mode="multiflow",
     run={"total_packets": 48, "coding_payload_size": 16, "max_duration": 60.0},
     seeds=(1,),
+))
+
+# --------------------------------------------------------------------------- #
+# Kilonode tier: 1000-node meshes (see docs/performance.md)
+#
+# At this density the paper's 10% pruning rule degenerates — the expected
+# load spreads over 100+ candidate relays, none reaches 10% of the total,
+# and pruning strands the flow — so every kilonode preset sets
+# ``run.max_relays``: the fixed-size top-N-by-load cap of
+# ``repro.metrics.credits.cap_forwarders``.  MORE-only: Srcr/ExOR route
+# computation adds nothing to the decode-path workload these presets stress.
+# --------------------------------------------------------------------------- #
+
+#: The kilonode mesh: same node density as ``large_mesh_200``
+#: (1000 / 940^2 vs 200 / 420^2 nodes per m^2), fully connected at seed 21.
+_KILONODE_MESH = TopologySpec("random_geometric", {"node_count": 1000,
+                                                   "area": 940.0, "seed": 21})
+
+register(ScenarioSpec(
+    name="kilonode",
+    description="Kilonode tier: one 4-hop MORE flow across a 1000-node "
+                "random-geometric mesh, forwarder list capped at the 10 "
+                "highest-load relays",
+    topology=copy.deepcopy(_KILONODE_MESH),
+    # Explicit pair (node 441 is 4 ETX hops from node 0): hop-count pair
+    # selection is O(n^2 Dijkstra) at this scale.
+    workload=WorkloadSpec("explicit", {"pairs": [[441, 0]]}),
+    protocols=("MORE",),
+    run={"total_packets": 64, "batch_size": 32, "coding_payload_size": 16,
+         "max_duration": 60.0, "max_relays": 10},
+    seeds=(1,),
+))
+
+register(ScenarioSpec(
+    name="kilonode_relays",
+    description="Kilonode tier: throughput vs forwarder-list cap (the "
+                "relay-count axis) on the 1000-node mesh",
+    topology=copy.deepcopy(_KILONODE_MESH),
+    workload=WorkloadSpec("explicit", {"pairs": [[441, 0]]}),
+    protocols=("MORE",),
+    run={"total_packets": 64, "batch_size": 32, "coding_payload_size": 16,
+         "max_duration": 60.0, "max_relays": 10},
+    seeds=(1,),
+    sweep={"run.max_relays": (4, 8, 12, 16)},
+))
+
+register(ScenarioSpec(
+    name="kilonode_bitrate",
+    description="Kilonode tier: 5.5 vs 11 Mb/s data rate on the capped "
+                "1000-node mesh flow (the bitrate axis)",
+    topology=copy.deepcopy(_KILONODE_MESH),
+    workload=WorkloadSpec("explicit", {"pairs": [[441, 0]]}),
+    protocols=("MORE",),
+    run={"total_packets": 64, "batch_size": 32, "coding_payload_size": 16,
+         "max_duration": 60.0, "max_relays": 10},
+    seeds=(1,),
+    sweep={"run.bitrate": (RATE_5_5MBPS, RATE_11MBPS)},
 ))
 
 # --------------------------------------------------------------------------- #

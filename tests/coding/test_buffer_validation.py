@@ -1,0 +1,124 @@
+"""Constructor and input validation of the coding buffer, per engine.
+
+The property/differential suites drive well-formed streams; these tests
+pin the rejection paths — bad constructor arguments, mismatched operand
+shapes, payload access on payload-free buffers — which every engine must
+refuse identically (same exception type, before any state mutation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding.buffer import ENGINES, BatchBuffer
+from repro.coding.packet import CodedPacket
+
+K = 8
+S = 16
+
+
+def _packet(vector_bytes, payload_size=S):
+    vector = np.zeros(K, dtype=np.uint8)
+    for index, value in vector_bytes.items():
+        vector[index] = value
+    return CodedPacket(code_vector=vector,
+                       payload=np.arange(payload_size, dtype=np.uint8))
+
+
+def test_engine_roster_is_the_documented_one():
+    assert ENGINES == ("vectorized", "eager", "scalar")
+
+
+def test_batch_size_must_be_positive():
+    with pytest.raises(ValueError, match="batch_size"):
+        BatchBuffer(batch_size=0, packet_size=S)
+
+
+def test_packet_size_must_be_non_negative():
+    with pytest.raises(ValueError, match="packet_size"):
+        BatchBuffer(batch_size=K, packet_size=-1)
+
+
+def test_unknown_engine_is_rejected():
+    with pytest.raises(ValueError, match="unknown engine"):
+        BatchBuffer(batch_size=K, packet_size=S, engine="gpu")
+
+
+def test_unknown_kernel_is_rejected():
+    with pytest.raises(ValueError, match="unknown"):
+        BatchBuffer(batch_size=K, packet_size=S, kernel="simd")
+
+
+def test_explicit_engine_overrides_fast_flag():
+    assert BatchBuffer(K, S, fast=False, engine="vectorized").engine == "vectorized"
+    assert BatchBuffer(K, S, fast=True, engine="scalar").engine == "scalar"
+    assert BatchBuffer(K, S, fast=True).engine == "vectorized"
+    assert BatchBuffer(K, S, fast=False).engine == "scalar"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_mismatched_payload_length_is_rejected(engine):
+    buffer = BatchBuffer(batch_size=K, packet_size=S, engine=engine)
+    bad = _packet({0: 1}, payload_size=S + 3)
+    with pytest.raises(ValueError, match="payload length"):
+        buffer.add(bad)
+    assert buffer.rank == 0  # rejected before any state mutation
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_payload_matrix_requires_payload_tracking(engine):
+    buffer = BatchBuffer(batch_size=K, packet_size=0, track_payloads=False,
+                         engine=engine)
+    with pytest.raises(RuntimeError, match="without payload tracking"):
+        buffer.payload_matrix()
+    with pytest.raises(RuntimeError):
+        buffer.decode()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_decode_before_full_rank_is_an_error(engine):
+    buffer = BatchBuffer(batch_size=K, packet_size=S, engine=engine)
+    buffer.add(_packet({0: 1}))
+    with pytest.raises(RuntimeError):
+        buffer.decode()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_is_innovative_validates_vector_length(engine):
+    buffer = BatchBuffer(batch_size=K, packet_size=S, engine=engine)
+    with pytest.raises(ValueError, match="length"):
+        buffer.is_innovative(np.ones(K + 1, dtype=np.uint8))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_is_innovative_without_insertion(engine):
+    buffer = BatchBuffer(batch_size=K, packet_size=S, engine=engine)
+    zero = np.zeros(K, dtype=np.uint8)
+    assert not buffer.is_innovative(zero)
+    assert buffer.is_innovative(np.ones(K, dtype=np.uint8))
+
+    buffer.add(_packet({0: 1}))
+    seen = buffer.coefficient_matrix()[0]
+    assert not buffer.is_innovative(seen)
+    assert buffer.is_innovative(np.ones(K, dtype=np.uint8))
+    assert buffer.rank == 1  # the probe inserted nothing
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_stored_packets_without_payload_tracking_are_zero_padded(engine):
+    buffer = BatchBuffer(batch_size=K, packet_size=S, track_payloads=False,
+                         engine=engine)
+    vector = np.zeros(K, dtype=np.uint8)
+    vector[2] = 7
+    buffer.add(CodedPacket(code_vector=vector,
+                           payload=np.zeros(0, dtype=np.uint8)))
+    (stored,) = buffer.stored_packets()
+    assert stored.payload.shape == (S,)
+    assert not stored.payload.any()
+
+
+def test_code_vector_must_be_one_dimensional():
+    with pytest.raises(ValueError, match="1-D"):
+        CodedPacket(code_vector=np.zeros((2, 2), dtype=np.uint8),
+                    payload=np.zeros(4, dtype=np.uint8))

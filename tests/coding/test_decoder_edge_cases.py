@@ -1,0 +1,134 @@
+"""Decoder edge cases every insertion engine must handle identically.
+
+The four corners the property streams only brush in passing, pinned down
+explicitly for each engine/kernel configuration:
+
+* re-insertion of an already-seen packet (non-innovative, no state drift);
+* insertion after the buffer reached full rank (rejected, counters still
+  advance, decode unchanged);
+* the payload-free ``vector_only`` mode decoding at K=64 — double the
+  usual batch size, zero payload bytes end to end;
+* a forwarder pre-coding a rank-deficient buffer: the pre-coded packet
+  must stay inside the heard subspace and be byte-identical across
+  engines (including the RNG draws it consumes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding.decoder import BatchDecoder, decode_by_inversion
+from repro.coding.encoder import ForwarderEncoder, SourceEncoder
+from repro.coding.packet import make_batch
+from repro.gf.matrix import rank as matrix_rank
+
+CONFIGURATIONS = (
+    ("vectorized", "mul"),
+    ("vectorized", "nibble"),
+    ("vectorized", "logexp"),
+    ("eager", "mul"),
+    ("scalar", "mul"),
+)
+
+K = 16
+PACKET_SIZE = 64
+
+
+def _coded_packets(count: int, batch_size: int = K,
+                   packet_size: int = PACKET_SIZE, seed: int = 7):
+    batch = make_batch(batch_size=batch_size, packet_size=packet_size,
+                       rng=np.random.default_rng(seed))
+    encoder = SourceEncoder(batch, np.random.default_rng(seed + 1))
+    return batch, encoder.next_packets(count)
+
+
+@pytest.mark.parametrize("engine,kernel", CONFIGURATIONS)
+def test_reinserting_a_seen_packet_is_not_innovative(engine, kernel):
+    _, packets = _coded_packets(K // 2)
+    decoder = BatchDecoder(batch_size=K, packet_size=PACKET_SIZE,
+                           engine=engine, kernel=kernel)
+    assert decoder.add_packets(packets) == [True] * len(packets)
+    before = decoder.buffer.coefficient_matrix()
+
+    verdicts = decoder.add_packets(packets)  # replay every packet
+    assert verdicts == [False] * len(packets)
+    assert decoder.rank == len(packets)
+    assert decoder.buffer.received == 2 * len(packets)
+    assert decoder.buffer.innovative == len(packets)
+    np.testing.assert_array_equal(decoder.buffer.coefficient_matrix(), before)
+
+
+@pytest.mark.parametrize("engine,kernel", CONFIGURATIONS)
+def test_insertion_after_full_rank_is_rejected(engine, kernel):
+    batch, packets = _coded_packets(K + 4)
+    decoder = BatchDecoder(batch_size=K, packet_size=PACKET_SIZE,
+                           engine=engine, kernel=kernel)
+    for coded in packets[:K]:
+        decoder.add_packet(coded)
+    assert decoder.is_complete
+    decoded_before = np.stack([p.payload for p in decoder.decode()])
+
+    for coded in packets[K:]:
+        assert decoder.add_packet(coded) is False
+    assert decoder.rank == K
+    assert decoder.missing() == 0
+    assert decoder.buffer.received == K + 4
+    decoded_after = np.stack([p.payload for p in decoder.decode()])
+    np.testing.assert_array_equal(decoded_after, decoded_before)
+    np.testing.assert_array_equal(decoded_after, batch.payload_matrix())
+
+
+@pytest.mark.parametrize("engine,kernel", CONFIGURATIONS)
+def test_vector_only_decode_at_k64(engine, kernel):
+    """Zero-byte payloads at K=64: rank machinery alone drives completion."""
+    _, packets = _coded_packets(64, batch_size=64, packet_size=0, seed=11)
+    decoder = BatchDecoder(batch_size=64, packet_size=0,
+                           engine=engine, kernel=kernel)
+    verdicts = decoder.add_packets(packets)
+    assert all(verdicts)
+    assert decoder.is_complete
+    natives = decoder.decode()
+    assert len(natives) == 64
+    assert all(p.payload.size == 0 for p in natives)
+    # The coefficient matrix still fully reduced to the identity.
+    np.testing.assert_array_equal(decoder.buffer.coefficient_matrix(),
+                                  np.eye(64, dtype=np.uint8))
+
+
+@pytest.mark.parametrize("engine,kernel", CONFIGURATIONS)
+def test_forwarder_precodes_rank_deficient_buffer(engine, kernel):
+    """Pre-coding from r < K innovative packets stays in the heard subspace."""
+    _, packets = _coded_packets(K // 4)
+    forwarder = ForwarderEncoder(batch_size=K, packet_size=PACKET_SIZE,
+                                 rng=np.random.default_rng(23),
+                                 engine=engine, kernel=kernel)
+    for coded in packets:
+        forwarder.add_packet(coded)
+    assert forwarder.buffer.rank == len(packets)
+
+    recoded = forwarder.next_packet()
+    heard = forwarder.buffer.coefficient_matrix()
+    stacked = np.vstack([heard, recoded.code_vector])
+    assert matrix_rank(stacked) == len(packets)  # no rank inflation
+    assert recoded.code_vector.any()
+
+    # Byte-identical across engines, RNG draws included: the scalar engine
+    # given the same seed produces the same pre-coded packet.
+    reference = ForwarderEncoder(batch_size=K, packet_size=PACKET_SIZE,
+                                 rng=np.random.default_rng(23), engine="scalar")
+    for coded in packets:
+        reference.add_packet(coded)
+    expected = reference.next_packet()
+    np.testing.assert_array_equal(recoded.code_vector, expected.code_vector)
+    np.testing.assert_array_equal(recoded.payload, expected.payload)
+
+
+def test_full_batch_matches_inversion_reference():
+    """The incremental decode equals the paper's explicit-inversion decode."""
+    batch, packets = _coded_packets(K)
+    decoder = BatchDecoder(batch_size=K, packet_size=PACKET_SIZE)
+    decoder.add_packets(packets)
+    incremental = np.stack([p.payload for p in decoder.decode()])
+    np.testing.assert_array_equal(incremental, decode_by_inversion(packets))
+    np.testing.assert_array_equal(incremental, batch.payload_matrix())

@@ -96,6 +96,11 @@ class TestShiftedRows:
         with pytest.raises(ValueError):
             operand.matmul(np.zeros((2, 5), dtype=np.uint8))
 
+    def test_vecmul_mismatched_length_rejected(self, rng):
+        operand = ShiftedRows(rng.integers(0, 256, (4, 8), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            operand.vecmul(np.zeros(3, dtype=np.uint8))
+
 
 class TestVectorAndRowKernels:
     def test_gf_vecmat_matches_matmul(self, rng):

@@ -98,6 +98,10 @@ class TestInvertAndSolve:
         with pytest.raises(ValueError):
             gfm.solve(random_matrix(4, 4), np.zeros(3, dtype=np.uint8))
 
+    def test_solve_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            gfm.solve(random_matrix(4, 3), np.zeros(4, dtype=np.uint8))
+
     def test_is_invertible(self):
         assert gfm.is_invertible(np.eye(3, dtype=np.uint8))
         assert not gfm.is_invertible(np.zeros((3, 3), dtype=np.uint8))
