@@ -5,18 +5,26 @@ PYTHON  ?= python
 WORKERS ?= 4
 ENV      = PYTHONPATH=src
 
-.PHONY: check lint test test-engine test-coding bench bench-baseline profile \
-        docs-check figures examples clean
+.PHONY: check lint analyze test test-engine test-coding bench bench-baseline \
+        profile docs-check figures examples clean
 
-# The pre-merge gate: lint, the engine differential tests (fail fast on a
-# hot-path regression), then the full tier-1 suite.
-check: lint test-engine test
+# The pre-merge gate: lint, the static invariant analyzer, the engine
+# differential tests (fail fast on a hot-path regression), then the full
+# tier-1 suite.
+check: lint analyze test-engine test
 
-# Style/correctness lint: `ruff check` when ruff is installed, a stdlib
-# fallback subset (syntax, line length, trailing whitespace, unused
-# imports) otherwise.  Configuration lives in pyproject.toml.
+# Style/correctness lint: `ruff check` when ruff is installed, the
+# repro.analysis style rules (syntax, line length, trailing whitespace,
+# unused imports) otherwise.  Configuration lives in pyproject.toml.
 lint:
 	$(ENV) $(PYTHON) scripts/lint.py
+
+# repro-check: the repo-specific static invariant analyzer (determinism,
+# engine parity, config threading, hot-path hygiene, style) plus the
+# strict-mypy typed-core gate when mypy is installed.  Rules and
+# suppression syntax are catalogued in docs/invariants.md.
+analyze:
+	$(ENV) $(PYTHON) -m repro.analysis
 
 # Tier-1 verification: the full suite (tests/ + benchmarks/), fail-fast.
 test:
@@ -54,7 +62,7 @@ profile:
 # Every repro.* name referenced in README.md and docs/ must resolve.
 docs-check:
 	$(ENV) $(PYTHON) scripts/docs_check.py README.md docs/paper-map.md \
-		docs/scenarios.md docs/performance.md
+		docs/scenarios.md docs/performance.md docs/invariants.md
 
 # Run (and cache under results/) every paper-figure scenario preset.
 figures:

@@ -1,36 +1,40 @@
 #!/usr/bin/env python3
-"""lint: run ruff when available, a stdlib fallback subset otherwise.
+"""lint: run ruff when available, the repro.analysis style rules otherwise.
 
 ``make lint`` (folded into ``make check`` alongside tier-1 tests) must work
 both on developer machines with ruff installed and inside hermetic
 containers without it.  When ``ruff`` is importable or on PATH we defer to
-``ruff check`` with the configuration in ``pyproject.toml``; otherwise a
-conservative stdlib implementation enforces the subset of that policy that
-can be checked without third-party code:
+``ruff check`` with the configuration in ``pyproject.toml``; otherwise the
+style subset of the :mod:`repro.analysis` rule framework enforces the same
+policy with the stdlib only:
 
-* the file parses (syntax errors);
+* SYN001 — the file parses;
 * E501 — lines longer than ``tool.ruff.line-length``;
 * W291/W293 — trailing whitespace;
 * W191 — tabs in indentation;
-* F401 — imports never used in the module (skipped for ``__init__.py``
-  re-export hubs and names listed in ``__all__`` or redundantly aliased
-  ``import x as x``).
+* F401 — imports never used in the module (``__init__.py`` re-export
+  hubs, ``import x as x``, ``__all__``/string references and
+  ``if TYPE_CHECKING:`` guards exempt).
 
-Exit status 0 when clean, 1 with one line per violation otherwise.
+The invariant rules (DET/ENG/CFG/PERF) run via ``make analyze``; this
+script stays the style-only alias.  Exit status 0 when clean, 1 with one
+line per violation otherwise.
 """
 
 from __future__ import annotations
 
-import ast
 import re
 import shutil
 import subprocess
 import sys
-import tokenize
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-TARGETS = ["src", "tests", "benchmarks", "scripts", "examples", "setup.py"]
+sys.path.insert(0, str(REPO_ROOT / "src"))  # in-tree package, no install
+
+from repro.analysis import STYLE_RULES, AnalysisConfig, run_rules  # noqa: E402
+
+TARGETS = list(AnalysisConfig().style_targets)
 DEFAULT_LINE_LENGTH = 100
 
 
@@ -38,17 +42,6 @@ def _configured_line_length() -> int:
     text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
     match = re.search(r"^line-length\s*=\s*(\d+)", text, re.MULTILINE)
     return int(match.group(1)) if match else DEFAULT_LINE_LENGTH
-
-
-def _python_files() -> list[Path]:
-    files: list[Path] = []
-    for target in TARGETS:
-        path = REPO_ROOT / target
-        if path.is_file():
-            files.append(path)
-        elif path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-    return files
 
 
 def _run_ruff() -> int | None:
@@ -65,105 +58,16 @@ def _run_ruff() -> int | None:
     return subprocess.run(command + TARGETS, cwd=REPO_ROOT).returncode
 
 
-# --------------------------------------------------------------------------- #
-# Stdlib fallback checks
-# --------------------------------------------------------------------------- #
-
-
-class _ImportUsage(ast.NodeVisitor):
-    """Collect imported top-level names and every name/attribute used."""
-
-    def __init__(self) -> None:
-        self.imported: dict[str, int] = {}
-        self.used: set[str] = set()
-
-    def visit_Import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            if alias.asname == alias.name.split(".")[0]:
-                continue  # `import x as x`: an explicit re-export idiom
-            name = alias.asname or alias.name.split(".")[0]
-            self.imported.setdefault(name, node.lineno)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        for alias in node.names:
-            if alias.name == "*" or alias.asname == alias.name:
-                continue
-            name = alias.asname or alias.name
-            self.imported.setdefault(name, node.lineno)
-
-    def visit_Name(self, node: ast.Name) -> None:
-        if isinstance(node.ctx, ast.Load):
-            self.used.add(node.id)
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        self.generic_visit(node)
-
-
-def _string_referenced(name: str, tree: ast.Module) -> bool:
-    """True when ``name`` appears as a whole word in a string constant.
-
-    Covers ``__all__`` entries and docstring/doctest references without the
-    false negatives raw substring containment would produce (an unused
-    ``np`` must not be excused by the word "input" appearing somewhere).
-    """
-    pattern = re.compile(rf"\b{re.escape(name)}\b")
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Constant) and isinstance(node.value, str):
-            if pattern.search(node.value):
-                return True
-    return False
-
-
-def _check_file(path: Path, line_length: int) -> list[str]:
-    relative = path.relative_to(REPO_ROOT)
-    problems: list[str] = []
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as error:
-        return [f"{relative}:{error.lineno}: syntax error: {error.msg}"]
-
-    for number, line in enumerate(source.splitlines(), start=1):
-        if len(line) > line_length:
-            problems.append(f"{relative}:{number}: E501 line too long "
-                            f"({len(line)} > {line_length})")
-        if line != line.rstrip():
-            code = "W293" if not line.strip() else "W291"
-            problems.append(f"{relative}:{number}: {code} trailing whitespace")
-        stripped = line.lstrip(" ")
-        if stripped.startswith("\t"):
-            problems.append(f"{relative}:{number}: W191 tab in indentation")
-
-    if path.name != "__init__.py":
-        usage = _ImportUsage()
-        usage.visit(tree)
-        for name, lineno in sorted(usage.imported.items(), key=lambda kv: kv[1]):
-            if name in usage.used or name == "annotations":
-                continue
-            if _string_referenced(name, tree):
-                continue  # __all__ entries / doctest references
-            problems.append(f"{relative}:{lineno}: F401 '{name}' imported "
-                            "but unused")
-    try:
-        with tokenize.open(path):
-            pass
-    except (tokenize.TokenError, SyntaxError) as error:  # pragma: no cover
-        problems.append(f"{relative}:1: tokenize error: {error}")
-    return problems
-
-
 def _run_fallback() -> int:
-    line_length = _configured_line_length()
-    files = _python_files()
-    print(f"lint: ruff not installed; stdlib fallback over {len(files)} files "
-          f"(line length {line_length})")
-    problems: list[str] = []
-    for path in files:
-        problems.extend(_check_file(path, line_length))
-    for problem in problems:
-        print(problem)
-    if problems:
-        print(f"lint: {len(problems)} problem(s)")
+    config = AnalysisConfig(line_length=_configured_line_length())
+    print(f"lint: ruff not installed; repro.analysis style rules "
+          f"({', '.join(STYLE_RULES)}) over {', '.join(TARGETS)} "
+          f"(line length {config.line_length})")
+    findings = run_rules(REPO_ROOT, config=config, select=STYLE_RULES)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"lint: {len(findings)} problem(s)")
         return 1
     print("lint: clean")
     return 0

@@ -26,6 +26,11 @@ setup(
     ],
     extras_require={
         "test": ["pytest>=7", "pytest-benchmark", "hypothesis"],
+        # Static-analysis extras: `make analyze` runs the repro.analysis
+        # rules with the stdlib alone, but enforces the strict-mypy
+        # typed-core gate (and full-strength ruff linting) when these are
+        # installed.  CI installs them explicitly.
+        "dev": ["mypy>=1.8", "ruff"],
     },
     entry_points={
         "console_scripts": [

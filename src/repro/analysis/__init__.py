@@ -1,0 +1,86 @@
+"""repro-check: the repo-specific static invariant analyzer.
+
+The differential test suites defend this reproduction's contracts
+*dynamically*: engine=fast/legacy traces must match bit for bit, every
+random draw must be a pure function of ``(seed, counter)``, every
+``RunConfig`` knob must actually reach the simulator.  A violated contract
+only surfaces once a trace diverges — often many PRs later.  This package
+enforces the same contracts *statically*, at ``make analyze`` time, as an
+AST-walking rule framework with repo-specific rules:
+
+``DET001``
+    No unseeded ``np.random.default_rng()``, no stdlib ``random``, no
+    legacy ``np.random.*`` global-state draws and no wall clock
+    (``time.time`` / ``perf_counter`` / …) inside ``src/repro``.  The
+    timing harnesses that legitimately measure wall time carry annotated
+    ``# repro: allow-DET001`` exemptions.
+
+``DET002``
+    Counter-based purity: channel/mobility realisation classes must not
+    store (and later advance) a mutable ``Generator`` between queries —
+    randomness is re-derived per ``(seed, counter)`` query instead.
+
+``ENG001``
+    Engine parity: registered dual/triple-path implementations
+    (``EventQueue``/``LegacyEventQueue``, the ``BatchBuffer`` engine
+    selector, ``VECMAT_KERNELS``) must keep identical public signatures so
+    API drift fails the build before a differential test has to catch it.
+
+``CFG001``
+    Config threading: every ``RunConfig`` field must be consumed somewhere
+    in ``src/repro`` (the recurring half-threaded-field bug class) and the
+    ``ScenarioSpec`` run/override plumbing must stay intact.
+
+``PERF001``
+    Hot-path hygiene: the registered hot modules keep ``__slots__`` on
+    their registered classes and stay free of per-event lambda allocation
+    and ``print``.
+
+Style rules (``E501``/``W291``/``W293``/``W191``/``F401``/``SYN001``) from
+the old ``scripts/lint.py`` stdlib fallback run through the same registry,
+so there is one rule framework and one entrypoint::
+
+    PYTHONPATH=src python -m repro.analysis          # everything + mypy
+    PYTHONPATH=src python -m repro.analysis --select DET001,CFG001
+    make analyze                                     # the pre-merge gate
+
+Findings are suppressed per line with ``# repro: allow-<RULE>`` (same line
+or an immediately preceding comment line); see docs/invariants.md for each
+rule's rationale and the full suppression syntax.
+"""
+
+from repro.analysis.framework import (
+    AnalysisConfig,
+    Finding,
+    Project,
+    Rule,
+    all_rules,
+    get_rule,
+    run_rules,
+)
+
+# Importing the rule modules registers their rules with the framework.
+from repro.analysis import config_threading  # noqa: F401  (registration import)
+from repro.analysis import determinism  # noqa: F401  (registration import)
+from repro.analysis import hotpath  # noqa: F401  (registration import)
+from repro.analysis import parity  # noqa: F401  (registration import)
+from repro.analysis import style  # noqa: F401  (registration import)
+
+#: The rule subset `make lint`'s stdlib fallback runs (the old
+#: scripts/lint.py checks, now living in :mod:`repro.analysis.style`).
+STYLE_RULES = ("SYN001", "E501", "W191", "W291", "W293", "F401")
+
+#: The repo-specific invariant rules (everything that is not style).
+INVARIANT_RULES = ("DET001", "DET002", "ENG001", "CFG001", "PERF001")
+
+__all__ = [
+    "AnalysisConfig",
+    "Finding",
+    "Project",
+    "Rule",
+    "STYLE_RULES",
+    "INVARIANT_RULES",
+    "all_rules",
+    "get_rule",
+    "run_rules",
+]

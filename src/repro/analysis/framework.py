@@ -1,0 +1,327 @@
+"""The rule framework behind ``repro-check``.
+
+Three pieces, deliberately small:
+
+* :class:`Project` — the parsed source tree.  Every ``*.py`` file under the
+  configured targets is loaded once into a :class:`SourceFile` (text,
+  lines, lazily-parsed AST, per-line suppressions), so every rule works
+  from the same snapshot and no rule re-reads the disk.
+* :class:`Rule` — one named invariant.  A rule sees the whole project (the
+  interesting invariants are cross-file) and yields :class:`Finding`
+  objects; the framework filters findings through ``# repro: allow-<RULE>``
+  suppression comments and sorts them for stable output.
+* the registry — rules self-register at import time via :func:`register`,
+  so the CLI, ``make lint``'s fallback and the tests all address rules by
+  name through one table.
+
+Per-rule knobs (which modules are hot, which classes form an engine pair,
+where the config dataclass lives) are fields of :class:`AnalysisConfig`
+rather than hard-coded in the rules, which is what lets the fixture tests
+point a rule at a known-bad synthetic tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: ``# repro: allow-DET001`` (optionally followed by a reason) suppresses
+#: matching findings on its line, or on the next code line when the comment
+#: stands alone.
+_SUPPRESS = re.compile(r"#\s*repro:\s*allow-([A-Za-z0-9]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+class SourceFile:
+    """One parsed source file plus its suppression map."""
+
+    def __init__(self, root: Path, path: Path) -> None:
+        self.path = path
+        self.relative = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self._tree: ast.Module | None = None
+        self._syntax_error: SyntaxError | None = None
+        self._suppressions: dict[int, set[str]] | None = None
+
+    @property
+    def tree(self) -> ast.Module | None:
+        """The parsed AST, or ``None`` when the file has a syntax error."""
+        if self._tree is None and self._syntax_error is None:
+            try:
+                self._tree = ast.parse(self.text, filename=str(self.path))
+            except SyntaxError as error:
+                self._syntax_error = error
+        return self._tree
+
+    @property
+    def syntax_error(self) -> SyntaxError | None:
+        self.tree  # noqa: B018 - force the parse attempt
+        return self._syntax_error
+
+    def suppressions(self) -> dict[int, set[str]]:
+        """Map line number -> rule names suppressed on that line.
+
+        A trailing ``# repro: allow-RULE`` comment covers its own line; a
+        comment-only line covers the next non-blank, non-comment line too,
+        so long suppression reasons need not fight the line-length rule.
+        """
+        if self._suppressions is None:
+            table: dict[int, set[str]] = {}
+            pending: set[str] = set()
+            for number, line in enumerate(self.lines, start=1):
+                rules = {match.upper() for match in _SUPPRESS.findall(line)}
+                stripped = line.strip()
+                if rules:
+                    table.setdefault(number, set()).update(rules)
+                    if stripped.startswith("#"):
+                        pending |= rules  # standalone comment: covers next code line
+                        continue
+                if not stripped or stripped.startswith("#"):
+                    continue
+                if pending:
+                    table.setdefault(number, set()).update(pending)
+                    pending = set()
+            self._suppressions = table
+        return self._suppressions
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        return rule in self.suppressions().get(line, ())
+
+
+class Project:
+    """The analyzed source tree: every python file under the targets."""
+
+    def __init__(self, root: Path, targets: Iterable[str]) -> None:
+        self.root = Path(root)
+        self.files: list[SourceFile] = []
+        self._by_relative: dict[str, SourceFile] = {}
+        for target in targets:
+            path = self.root / target
+            if path.is_file():
+                self._add(path)
+            elif path.is_dir():
+                for candidate in sorted(path.rglob("*.py")):
+                    self._add(candidate)
+
+    def _add(self, path: Path) -> None:
+        source = SourceFile(self.root, path)
+        if source.relative not in self._by_relative:
+            self._by_relative[source.relative] = source
+            self.files.append(source)
+
+    def get(self, relative: str) -> SourceFile | None:
+        """Look up one file by repo-relative posix path."""
+        return self._by_relative.get(relative)
+
+    def under(self, prefix: str) -> Iterator[SourceFile]:
+        """All files whose repo-relative path starts with ``prefix``."""
+        prefix = prefix.rstrip("/") + "/"
+        for source in self.files:
+            if source.relative.startswith(prefix) or source.relative == prefix[:-1]:
+                yield source
+
+
+@dataclass
+class AnalysisConfig:
+    """Per-rule registries and knobs; defaults describe *this* repository."""
+
+    #: Directories/files the style rules cover (the old lint.py targets).
+    style_targets: tuple[str, ...] = ("src", "tests", "benchmarks", "scripts",
+                                      "examples", "setup.py")
+    #: Maximum source line length (mirrors ``tool.ruff.line-length``).
+    line_length: int = 100
+    #: The package subtree the determinism/invariant rules police.
+    src_prefix: str = "src/repro"
+    #: Wall-clock callables DET001 rejects inside :attr:`src_prefix`.
+    wallclock_calls: tuple[str, ...] = (
+        "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+        "time.monotonic", "time.monotonic_ns", "time.process_time",
+        "time.process_time_ns", "datetime.datetime.now", "datetime.datetime.today",
+        "datetime.datetime.utcnow", "datetime.date.today",
+    )
+    #: Modules whose realisation classes must stay counter-based (DET002).
+    purity_modules: tuple[str, ...] = (
+        "src/repro/sim/channels.py",
+        "src/repro/topology/mobility.py",
+    )
+    #: (path, reference class, path, variant class) engine pairs: every
+    #: public method/property of the reference must exist on the variant
+    #: with a matching signature (extra trailing defaulted params allowed).
+    parity_class_pairs: tuple[tuple[str, str, str, str], ...] = (
+        ("src/repro/sim/events.py", "LegacyEventQueue",
+         "src/repro/sim/events.py", "EventQueue"),
+    )
+    #: (path, registry dict name, extra function names): every function in
+    #: the dict literal plus the extras must share one parameter list.
+    parity_function_families: tuple[tuple[str, str, tuple[str, ...]], ...] = (
+        ("src/repro/gf/kernels.py", "VECMAT_KERNELS", ("gf_vecmat_reference",)),
+    )
+    #: Classes whose ``__init__`` must agree on the named selector keywords
+    #: (names *and* defaults): the engine/kernel selector surface.
+    parity_selector_classes: tuple[tuple[tuple[str, str], ...], ...] = (
+        (("src/repro/coding/buffer.py", "BatchBuffer"),
+         ("src/repro/coding/decoder.py", "BatchDecoder")),
+    )
+    #: Keywords the selector classes above must agree on.
+    parity_selector_keywords: tuple[str, ...] = ("fast", "engine", "kernel")
+    #: Where the experiment config dataclass lives (CFG001).
+    config_class: tuple[str, str] = ("src/repro/experiments/runner.py", "RunConfig")
+    #: The scenario-spec module whose run/override plumbing CFG001 checks.
+    spec_module: str = "src/repro/scenarios/spec.py"
+    #: Hot modules PERF001 polices for lambdas / ``print``.
+    hot_modules: tuple[str, ...] = (
+        "src/repro/sim/events.py",
+        "src/repro/sim/mac.py",
+        "src/repro/sim/medium.py",
+        "src/repro/gf/kernels.py",
+        "src/repro/protocols/more/agent.py",
+    )
+    #: path -> class names that must keep ``__slots__`` (literal assignment
+    #: or ``@dataclass(slots=True)``).
+    slots_classes: dict[str, tuple[str, ...]] = field(default_factory=lambda: {
+        "src/repro/sim/events.py": ("EventHandle", "LegacyEventHandle"),
+        "src/repro/sim/medium.py": ("Transmission",),
+        "src/repro/sim/frames.py": ("Frame",),
+        "src/repro/protocols/more/agent.py": ("MoreDataPayload", "MoreAckPayload"),
+        "src/repro/protocols/more/header.py": ("MoreHeader",),
+    })
+
+    def project_targets(self) -> tuple[str, ...]:
+        """Everything any rule looks at (style targets already cover src)."""
+        return self.style_targets
+
+    def with_root_targets(self, targets: tuple[str, ...]) -> "AnalysisConfig":
+        """A copy scanning different targets (used by fixture tests)."""
+        return replace(self, style_targets=targets)
+
+
+class Rule:
+    """Base class: one named, registered invariant."""
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, project: Project, config: AnalysisConfig) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by its ``name``) to the registry."""
+    instance = rule_class()
+    if not instance.name:
+        raise ValueError(f"rule {rule_class.__name__} has no name")
+    if instance.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {instance.name!r}")
+    _REGISTRY[instance.name] = instance
+    return rule_class
+
+
+def all_rules() -> dict[str, Rule]:
+    """The full rule registry, keyed by rule name."""
+    return dict(_REGISTRY)
+
+
+def get_rule(name: str) -> Rule:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown rule {name!r}; expected one of {sorted(_REGISTRY)}"
+        ) from None
+
+
+def run_rules(root: Path | str, config: AnalysisConfig | None = None,
+              select: Iterable[str] | None = None) -> list[Finding]:
+    """Run the selected rules (default: all) over ``root``; sorted findings.
+
+    Findings on lines carrying a matching ``# repro: allow-<RULE>``
+    suppression are dropped here, so every caller — CLI, lint fallback,
+    tests — sees identical suppression semantics.
+    """
+    config = config if config is not None else AnalysisConfig()
+    project = Project(Path(root), config.project_targets())
+    names = list(select) if select is not None else sorted(_REGISTRY)
+    findings: list[Finding] = []
+    for name in names:
+        rule = get_rule(name)
+        for finding in rule.check(project, config):
+            source = project.get(finding.path)
+            if source is not None and source.is_suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``ast.Name``/``ast.Attribute`` chain -> dotted string (else None)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted origin for every top-level-ish import.
+
+    Walks the whole tree (imports inside functions count too) and maps
+    ``import time`` -> ``{"time": "time"}``, ``import numpy as np`` ->
+    ``{"np": "numpy"}``, ``from time import perf_counter as pc`` ->
+    ``{"pc": "time.perf_counter"}``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_call_name(func: ast.AST, aliases: dict[str, str]) -> str | None:
+    """The canonical dotted name a call target resolves to, or ``None``.
+
+    ``np.random.default_rng`` with ``import numpy as np`` resolves to
+    ``numpy.random.default_rng``; a bare ``perf_counter`` imported from
+    ``time`` resolves to ``time.perf_counter``.
+    """
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = aliases.get(head)
+    if origin is None:
+        return dotted
+    return f"{origin}.{rest}" if rest else origin

@@ -1,0 +1,274 @@
+"""ENG001: engine parity — dual-path implementations may not drift apart.
+
+Every performance-critical layer of this reproduction is dual- (or
+triple-) pathed: an optimised implementation pinned bit-identical to a
+retained reference (``EventQueue`` vs ``LegacyEventQueue``, the
+``BatchBuffer`` insertion engines, the ``VECMAT_KERNELS`` elimination
+kernels).  The differential tests prove *behavioural* equality, but only
+for the API surface they happen to exercise; a public method added or
+re-signatured on one side silently de-pairs the implementations until a
+trace diverges.  This rule fails the build on signature drift directly:
+
+* **class pairs** — every public method/property of the registered
+  reference class must exist on the variant with matching parameters
+  (names, order, defaults).  The variant may append extra *defaulted*
+  trailing parameters (e.g. ``EventQueue.run``'s ``version_source``) and
+  extra methods (e.g. ``schedule_callback``): the reference API is the
+  contract, the fast side may extend it.
+* **function families** — all functions referenced from a registered
+  dispatch-dict literal (plus configured extras, e.g. the reference
+  kernel) must share one exact parameter list, so a new kernel cannot be
+  registered with a different calling convention.
+* **selector classes** — classes exposing the same engine selector (the
+  buffer and the decoder both take ``fast=``/``engine=``/``kernel=``)
+  must agree on those keywords' names and defaults.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import (
+    AnalysisConfig,
+    Finding,
+    Project,
+    Rule,
+    SourceFile,
+    register,
+)
+
+
+def _find_class(source: SourceFile, name: str) -> ast.ClassDef | None:
+    if source.tree is None:
+        return None
+    for node in source.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {node.name: node for node in cls.body
+            if isinstance(node, ast.FunctionDef)}
+
+
+def _is_property(func: ast.FunctionDef) -> bool:
+    for decorator in func.decorator_list:
+        name = decorator.attr if isinstance(decorator, ast.Attribute) \
+            else getattr(decorator, "id", None)
+        if name in ("property", "cached_property"):
+            return True
+    return False
+
+
+def _signature(func: ast.FunctionDef) -> list[tuple[str, str | None]]:
+    """Positional/keyword parameter (name, default-source) pairs, in order.
+
+    Annotations and return types are deliberately ignored: the engine
+    sides legitimately differ there (e.g. handle types).
+    """
+    args = func.args
+    params = list(args.posonlyargs) + list(args.args)
+    defaults: list[str | None] = [None] * (len(params) - len(args.defaults))
+    defaults += [ast.unparse(node) for node in args.defaults]
+    pairs = [(param.arg, default) for param, default in zip(params, defaults)]
+    for param, default in zip(args.kwonlyargs, args.kw_defaults):
+        pairs.append((param.arg, None if default is None else ast.unparse(default)))
+    return pairs
+
+
+@register
+class EngineParity(Rule):
+    """ENG001: registered engine pairs keep identical public signatures."""
+
+    name = "ENG001"
+    description = ("dual-path engines (event queues, coding engines, "
+                   "elimination kernels) must keep signature parity")
+
+    def check(self, project: Project, config: AnalysisConfig) -> Iterable[Finding]:
+        for ref_path, ref_name, var_path, var_name in config.parity_class_pairs:
+            yield from self._check_class_pair(project, ref_path, ref_name,
+                                              var_path, var_name)
+        for path, registry, extras in config.parity_function_families:
+            yield from self._check_function_family(project, path, registry, extras)
+        for group in config.parity_selector_classes:
+            yield from self._check_selectors(project, group,
+                                             config.parity_selector_keywords)
+
+    # -- class pairs ------------------------------------------------------- #
+
+    def _check_class_pair(self, project: Project, ref_path: str, ref_name: str,
+                          var_path: str, var_name: str) -> Iterator[Finding]:
+        ref_source = project.get(ref_path)
+        var_source = project.get(var_path)
+        if ref_source is None or var_source is None:
+            return
+        reference = _find_class(ref_source, ref_name)
+        variant = _find_class(var_source, var_name)
+        if reference is None:
+            yield Finding(self.name, ref_source.relative, 1,
+                          f"registered reference class `{ref_name}` not found")
+            return
+        if variant is None:
+            yield Finding(self.name, var_source.relative, 1,
+                          f"registered engine class `{var_name}` not found "
+                          f"(paired with `{ref_name}`)")
+            return
+        ref_methods = _methods(reference)
+        var_methods = _methods(variant)
+        for method_name, ref_method in sorted(ref_methods.items()):
+            if method_name.startswith("_"):
+                continue
+            var_method = var_methods.get(method_name)
+            if var_method is None:
+                yield Finding(
+                    self.name, var_source.relative, variant.lineno,
+                    f"`{var_name}` lacks public method `{method_name}` "
+                    f"defined by its engine pair `{ref_name}`",
+                )
+                continue
+            if _is_property(ref_method) != _is_property(var_method):
+                yield Finding(
+                    self.name, var_source.relative, var_method.lineno,
+                    f"`{var_name}.{method_name}` and `{ref_name}."
+                    f"{method_name}` disagree on being a property",
+                )
+                continue
+            yield from self._compare_signatures(
+                var_source, ref_name, var_name, method_name,
+                _signature(ref_method), _signature(var_method),
+                var_method.lineno)
+
+    def _compare_signatures(self, source: SourceFile, ref_name: str,
+                            var_name: str, method_name: str,
+                            ref_sig: list[tuple[str, str | None]],
+                            var_sig: list[tuple[str, str | None]],
+                            line: int) -> Iterator[Finding]:
+        label = f"`{var_name}.{method_name}` vs `{ref_name}.{method_name}`"
+        if len(var_sig) < len(ref_sig):
+            yield Finding(self.name, source.relative, line,
+                          f"{label}: missing parameter(s) "
+                          f"{[name for name, _ in ref_sig[len(var_sig):]]}")
+            return
+        for (ref_param, ref_default), (var_param, var_default) \
+                in zip(ref_sig, var_sig):
+            if ref_param != var_param:
+                yield Finding(self.name, source.relative, line,
+                              f"{label}: parameter `{var_param}` does not "
+                              f"match the reference's `{ref_param}`")
+                return
+            if ref_default != var_default:
+                yield Finding(self.name, source.relative, line,
+                              f"{label}: default for `{ref_param}` drifted "
+                              f"({var_default!r} vs {ref_default!r})")
+                return
+        for extra_param, extra_default in var_sig[len(ref_sig):]:
+            if extra_default is None:
+                yield Finding(self.name, source.relative, line,
+                              f"{label}: extra parameter `{extra_param}` must "
+                              "carry a default (callers written against the "
+                              "reference API would break)")
+                return
+
+    # -- function families ------------------------------------------------- #
+
+    def _check_function_family(self, project: Project, path: str, registry: str,
+                               extras: tuple[str, ...]) -> Iterator[Finding]:
+        source = project.get(path)
+        if source is None or source.tree is None:
+            return
+        table: ast.Dict | None = None
+        table_line = 1
+        for node in source.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == registry \
+                        and isinstance(value, ast.Dict):
+                    table = value
+                    table_line = node.lineno
+        if table is None:
+            yield Finding(self.name, source.relative, 1,
+                          f"registered kernel table `{registry}` not found "
+                          "(or is no longer a dict literal)")
+            return
+        member_names = [value.id for value in table.values
+                        if isinstance(value, ast.Name)]
+        if len(member_names) != len(table.values):
+            yield Finding(self.name, source.relative, table_line,
+                          f"`{registry}` entries must be plain function names "
+                          "so parity is statically checkable")
+        functions = {node.name: node for node in source.tree.body
+                     if isinstance(node, ast.FunctionDef)}
+        family = list(dict.fromkeys(member_names + list(extras)))
+        reference_sig: list[tuple[str, str | None]] | None = None
+        reference_name = ""
+        for member in family:
+            func = functions.get(member)
+            if func is None:
+                yield Finding(self.name, source.relative, table_line,
+                              f"`{registry}` references `{member}`, which is "
+                              "not a module-level function here")
+                continue
+            sig = _signature(func)
+            if reference_sig is None:
+                reference_sig, reference_name = sig, member
+            elif sig != reference_sig:
+                yield Finding(
+                    self.name, source.relative, func.lineno,
+                    f"kernel `{member}{tuple(n for n, _ in sig)}` does not "
+                    f"match the family signature of `{reference_name}"
+                    f"{tuple(n for n, _ in reference_sig)}`",
+                )
+
+    # -- selector classes -------------------------------------------------- #
+
+    def _check_selectors(self, project: Project,
+                         group: tuple[tuple[str, str], ...],
+                         keywords: tuple[str, ...]) -> Iterator[Finding]:
+        inits: list[tuple[SourceFile, str, dict[str, str | None], int]] = []
+        for path, class_name in group:
+            source = project.get(path)
+            if source is None:
+                continue
+            cls = _find_class(source, class_name)
+            if cls is None:
+                yield Finding(self.name, source.relative, 1,
+                              f"registered selector class `{class_name}` not found")
+                continue
+            init = _methods(cls).get("__init__")
+            if init is None:
+                yield Finding(self.name, source.relative, cls.lineno,
+                              f"`{class_name}` has no explicit __init__ to "
+                              "carry the engine selector keywords")
+                continue
+            inits.append((source, class_name,
+                          dict(_signature(init)), init.lineno))
+        if len(inits) < 2:
+            return
+        ref_source, ref_class, ref_params, _ = inits[0]
+        for source, class_name, params, line in inits[1:]:
+            for keyword in keywords:
+                if keyword not in ref_params or keyword not in params:
+                    missing = class_name if keyword not in params else ref_class
+                    yield Finding(
+                        self.name, source.relative, line,
+                        f"selector keyword `{keyword}=` missing from "
+                        f"`{missing}.__init__` (the engine surface must stay "
+                        "uniform across the coding layer)",
+                    )
+                elif ref_params[keyword] != params[keyword]:
+                    yield Finding(
+                        self.name, source.relative, line,
+                        f"`{class_name}.__init__` default for `{keyword}=` "
+                        f"({params[keyword]!r}) drifted from `{ref_class}`'s "
+                        f"({ref_params[keyword]!r})",
+                    )

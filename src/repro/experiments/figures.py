@@ -356,20 +356,22 @@ def table_4_1(batch_size: int = 32, packet_size: int = 1500, iterations: int = 5
         return min(measure() for _ in range(max(1, rounds))) * 1e6
 
     def measure_coding() -> float:
+        # repro: allow-DET001 — Figure-11 harness measures real CPU cost
         start = time.perf_counter()
         for _ in range(iterations):
             encoder.next_packet()
-        return (time.perf_counter() - start) / iterations
+        return (time.perf_counter() - start) / iterations  # repro: allow-DET001
 
     coding_us = best_of(measure_coding)
 
     def measure_decoding() -> float:
         decoder = BatchDecoder(batch_size=batch_size, packet_size=packet_size)
         packets = encoder.next_packets(batch_size)
+        # repro: allow-DET001 — Figure-11 harness measures real CPU cost
         start = time.perf_counter()
         for packet in packets:
             decoder.add_packet(packet)
-        return (time.perf_counter() - start) / batch_size
+        return (time.perf_counter() - start) / batch_size  # repro: allow-DET001
 
     decoding_us = best_of(measure_decoding)
 
@@ -382,10 +384,11 @@ def table_4_1(batch_size: int = 32, packet_size: int = 1500, iterations: int = 5
     probes = [packet.code_vector for packet in encoder.next_packets(iterations)]
 
     def measure_check() -> float:
+        # repro: allow-DET001 — Figure-11 harness measures real CPU cost
         start = time.perf_counter()
         for probe in probes:
             check_buffer.is_innovative(probe)
-        return (time.perf_counter() - start) / len(probes)
+        return (time.perf_counter() - start) / len(probes)  # repro: allow-DET001
 
     independence_us = best_of(measure_check)
 

@@ -127,6 +127,7 @@ def run_sweep(spec: ScenarioSpec, workers: int = 1,
     Returns:
         A :class:`SweepResult` with cells in deterministic expansion order.
     """
+    # repro: allow-DET001 — sweep wall-time is reporting only, never behaviour
     started = time.perf_counter()
     cells = spec.expand()
     results: dict[int, CellResult] = {}
@@ -149,7 +150,7 @@ def run_sweep(spec: ScenarioSpec, workers: int = 1,
         scenario=spec.name,
         cells=[results[position] for position in range(len(cells))],
         cached_cells=cached,
-        elapsed=time.perf_counter() - started,
+        elapsed=time.perf_counter() - started,  # repro: allow-DET001
         workers=max(1, workers),
         axes=list(spec.sweep),
     )

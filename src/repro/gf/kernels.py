@@ -57,9 +57,15 @@ Two formulations are used, picked by operand shape:
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.gf.tables import EXP, FIELD_SIZE, LOG, MUL
+
+#: The calling convention every elimination kernel shares:
+#: ``(vector, matrix) -> vector @ matrix`` over GF(2^8).
+VecmatKernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 #: Upper bound on the intermediate (rows, k, s) tensors of the gather path.
 _CHUNK_BYTES = 1 << 23  # 8 MiB
@@ -316,14 +322,14 @@ def gf_vecmat_logexp(vector: np.ndarray, matrix: np.ndarray) -> np.ndarray:
 #: loop, keyed by the name :class:`repro.coding.buffer.BatchBuffer` and the
 #: property-test harness use.  ``mul`` (the 64 KiB product-table gather) is
 #: the measured default; all entries are bit-identical.
-VECMAT_KERNELS = {
+VECMAT_KERNELS: dict[str, VecmatKernel] = {
     "mul": gf_vecmat,
     "nibble": gf_vecmat_nibble,
     "logexp": gf_vecmat_logexp,
 }
 
 
-def resolve_vecmat(name: str):
+def resolve_vecmat(name: str) -> VecmatKernel:
     """Look up an elimination kernel by name (see :data:`VECMAT_KERNELS`)."""
     try:
         return VECMAT_KERNELS[name]

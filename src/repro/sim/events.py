@@ -26,11 +26,21 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol
 
-#: Sentinel stored in a handle's callback slot once the event has fired, so
-#: a late ``cancel()`` neither double-counts nor marks the handle cancelled.
-_FIRED = object()
+
+def _FIRED() -> None:
+    """Sentinel stored in a handle's callback slot once the event has fired,
+    so a late ``cancel()`` neither double-counts nor marks the handle
+    cancelled.  Compared by identity only; never actually called."""
+    raise AssertionError("the fired sentinel must never be invoked")
+
+
+class VersionSource(Protocol):
+    """Anything exposing a counter that bumps when observable state changes
+    (e.g. :class:`~repro.sim.trace.StatsCollector`)."""
+
+    version: int
 
 #: Lazy cancellation compacts the heap only when at least this many
 #: cancelled entries have accumulated *and* they outnumber the live ones —
@@ -46,7 +56,7 @@ class EventHandle:
     def __init__(self, time: float, callback: Callable[[], None],
                  queue: "EventQueue") -> None:
         self.time = time
-        self._callback = callback
+        self._callback: Callable[[], None] | None = callback
         self._queue = queue
 
     def cancel(self) -> None:
@@ -72,11 +82,16 @@ class EventHandle:
         return self._callback is None
 
 
+#: Heap entries carry either a cancellable handle or (on the
+#: :meth:`EventQueue.schedule_callback` fast path) the bare callback.
+_HeapEntry = tuple[float, int, "EventHandle | Callable[[], None]"]
+
+
 class EventQueue:
     """A deterministic discrete-event scheduler."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._heap: list[_HeapEntry] = []
         self._sequence = 0
         self._live = 0        # scheduled, not yet fired, not cancelled
         self._cancelled = 0   # cancelled entries still sitting in the heap
@@ -127,16 +142,20 @@ class EventQueue:
         (cancellations routinely happen inside callbacks) stays valid.
         """
         heap = self._heap
-        heap[:] = [entry for entry in heap
-                   if entry[2].__class__ is not EventHandle
-                   or entry[2]._callback is not None]
+        survivors: list[_HeapEntry] = []
+        for entry in heap:
+            target = entry[2]
+            if isinstance(target, EventHandle) and target._callback is None:
+                continue
+            survivors.append(entry)
+        heap[:] = survivors
         heapq.heapify(heap)
         self._cancelled = 0
 
     def run(self, until: float | None = None,
             stop_condition: Callable[[], bool] | None = None,
             max_events: int | None = None,
-            version_source=None) -> float:
+            version_source: VersionSource | None = None) -> float:
         """Process events in time order.
 
         Args:
@@ -167,7 +186,8 @@ class EventQueue:
             while heap:
                 entry = heap[0]
                 target = entry[2]
-                if target.__class__ is EventHandle:
+                handle: EventHandle | None
+                if isinstance(target, EventHandle):
                     callback = target._callback
                     if callback is None:  # lazily-cancelled entry surfacing
                         pop(heap)
@@ -316,7 +336,8 @@ BENCH_EVENTS = 60_000
 BENCH_CANCEL_EVERY = 3
 
 
-def pump_timer_workload(queue, events: int = BENCH_EVENTS,
+def pump_timer_workload(queue: "EventQueue | LegacyEventQueue",
+                        events: int = BENCH_EVENTS,
                         timers: int = BENCH_TIMERS,
                         cancel_every: int = BENCH_CANCEL_EVERY) -> int:
     """Drive a deterministic timer workload through ``queue``; return a digest.
@@ -332,7 +353,7 @@ def pump_timer_workload(queue, events: int = BENCH_EVENTS,
     fired = 0
     digest = 0
 
-    def make_timer(index: int):
+    def make_timer(index: int) -> Callable[[], None]:
         period = 1.0 + (index % 7) * 0.001 + index * 1e-6
 
         def tick() -> None:

@@ -210,6 +210,8 @@ class CsmaMac:
             self._inflight = transmission
             self.events.schedule_callback(airtime, self._complete_inflight)
         else:
+            # repro: allow-PERF001 — retained legacy reference path (per-frame
+            # closures are exactly what the fast path above replaces)
             self.events.schedule(airtime, lambda: self._complete(transmission))
 
     def _complete_inflight(self) -> None:
@@ -238,6 +240,7 @@ class CsmaMac:
                 self._finish_success = True
                 self._defer(turnaround, self._finish_inflight)
             else:
+                # repro: allow-PERF001 — retained legacy reference path
                 self._defer(turnaround, lambda: self._finish_frame(frame, success=True))
             return
         # No MAC ACK: retry with a larger contention window or give up.
@@ -248,6 +251,7 @@ class CsmaMac:
                 self._finish_success = False
                 self._defer(turnaround, self._finish_inflight)
             else:
+                # repro: allow-PERF001 — retained legacy reference path
                 self._defer(turnaround, lambda: self._finish_frame(frame, success=False))
             return
         self.state = MacState.WAITING_TURNAROUND

@@ -138,6 +138,12 @@ class MobilityModel:
         """The effective delivery matrix at ``epoch`` (not to be mutated)."""
         raise NotImplementedError
 
+    def _bound_base(self) -> np.ndarray:
+        """The bound topology's nominal delivery matrix (after :meth:`bind`)."""
+        base = self._base
+        assert base is not None, "mobility model queried before bind()"
+        return base
+
 
 class _PositionMobility(MobilityModel):
     """Shared machinery of the position-based models.
@@ -177,8 +183,21 @@ class _PositionMobility(MobilityModel):
         self._delivery_epoch = -1
         self._delivery = None
 
+    @property
+    def _coords(self) -> np.ndarray:
+        """The bound initial coordinates (:meth:`_prepare` guarantees them)."""
+        coords = self._coords0
+        assert coords is not None, "position mobility used before bind()"
+        return coords
+
+    def positions_at(self, epoch: int) -> np.ndarray:
+        # Position models always move nodes; narrows the base class's
+        # ``np.ndarray | None`` for delivery_at below.
+        raise NotImplementedError
+
     def delivery_at(self, epoch: int) -> np.ndarray:
-        if epoch != self._delivery_epoch:
+        delivery = self._delivery
+        if delivery is None or epoch != self._delivery_epoch:
             coords = self.positions_at(epoch)
             deltas = coords[:, None, :] - coords[None, :, :]
             distance = np.sqrt((deltas ** 2).sum(axis=2))
@@ -186,7 +205,7 @@ class _PositionMobility(MobilityModel):
             np.fill_diagonal(delivery, 0.0)
             self._delivery = delivery
             self._delivery_epoch = epoch
-        return self._delivery
+        return delivery
 
 
 class RandomWaypoint(_PositionMobility):
@@ -224,7 +243,7 @@ class RandomWaypoint(_PositionMobility):
 
     def _prepare(self) -> None:
         super()._prepare()
-        count = self._coords0.shape[0]
+        count = self._coords.shape[0]
         # Per-node leg lists: (p0, p1, travel_time) plus the cumulative
         # end-of-leg times (travel + pause), extended lazily.
         self._legs: list[list[tuple[np.ndarray, np.ndarray, float]]] = \
@@ -237,7 +256,7 @@ class RandomWaypoint(_PositionMobility):
         ends = self._leg_ends[node]
         while not ends or ends[-1] <= until:
             index = len(legs)
-            start = legs[-1][1] if legs else self._coords0[node, :2]
+            start = legs[-1][1] if legs else self._coords[node, :2]
             rng = np.random.default_rng((self.seed, _MOBILITY_STREAM, node, index))
             target = rng.uniform(self._low, self._high)
             speed = rng.uniform(self.speed_min, self.speed_max)
@@ -260,7 +279,7 @@ class RandomWaypoint(_PositionMobility):
         cached = self._positions_cache.get(epoch)
         if cached is None:
             t = epoch * self.epoch_length
-            coords = self._coords0.copy()
+            coords = self._coords.copy()
             for node in range(coords.shape[0]):
                 coords[node, :2] = self._node_position(node, t)
             cached = self._positions_cache[epoch] = coords
@@ -298,14 +317,14 @@ class RandomWalk(_PositionMobility):
 
     def _prepare(self) -> None:
         super()._prepare()
-        self._trajectory: list[np.ndarray] = [self._coords0.copy()]
+        self._trajectory: list[np.ndarray] = [self._coords.copy()]
 
     def positions_at(self, epoch: int) -> np.ndarray:
         trajectory = self._trajectory
         while len(trajectory) <= epoch:
             step_epoch = len(trajectory)
             rng = np.random.default_rng((self.seed, _MOBILITY_STREAM, step_epoch))
-            count = self._coords0.shape[0]
+            count = self._coords.shape[0]
             angle = rng.uniform(0.0, 2.0 * np.pi, size=count)
             speed = rng.uniform(self.speed_min, self.speed_max, size=count)
             step = (speed * self.epoch_length)[:, None] \
@@ -367,7 +386,7 @@ class MarkovLinkChurn(MobilityModel):
         return (mixed >> np.uint64(11)).astype(np.float64) * 2.0 ** -53
 
     def _prepare(self) -> None:
-        count = self._base.shape[0]
+        count = self._bound_base().shape[0]
         grid_i, grid_j = np.meshgrid(np.arange(count), np.arange(count),
                                      indexing="ij")
         if self.symmetric:
@@ -391,17 +410,18 @@ class MarkovLinkChurn(MobilityModel):
         if epoch < self._state_epoch:
             # Rare backwards query (e.g. a fresh reader): replay from 0.
             self._state_epoch = -1
-        if self._state_epoch < 0:
-            self._up = self._uniform(0) < self._p_up_stationary
+        up = self._up
+        if self._state_epoch < 0 or up is None:
+            up = self._uniform(0) < self._p_up_stationary
             self._state_epoch = 0
         while self._state_epoch < epoch:
             next_epoch = self._state_epoch + 1
             draw = self._uniform(next_epoch)
-            up = self._up
             flip = np.where(up, draw < self._p_drop, draw < self._p_recover)
-            self._up = up ^ flip
+            up = up ^ flip
             self._state_epoch = next_epoch
-        return self._up
+        self._up = up
+        return up
 
     def up_mask(self, epoch: int) -> np.ndarray:
         """Boolean matrix of links that are up at ``epoch``."""
@@ -411,12 +431,14 @@ class MarkovLinkChurn(MobilityModel):
         return None  # churn never moves nodes
 
     def delivery_at(self, epoch: int) -> np.ndarray:
-        if epoch != self._delivery_epoch:
+        delivery = self._delivery
+        if delivery is None or epoch != self._delivery_epoch:
             up = self._advance_to(epoch)
             scale = np.where(up, 1.0, self.down_scale)
-            self._delivery = self._base * scale
+            delivery = self._bound_base() * scale
+            self._delivery = delivery
             self._delivery_epoch = epoch
-        return self._delivery
+        return delivery
 
 
 #: Mobility models addressable from a :class:`MobilitySpec`.

@@ -1,0 +1,107 @@
+"""Framework mechanics: registry, suppression semantics, project loading."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis import INVARIANT_RULES, STYLE_RULES, all_rules, get_rule, run_rules
+from repro.analysis.framework import (
+    AnalysisConfig,
+    Finding,
+    Project,
+    import_aliases,
+    resolve_call_name,
+)
+
+
+def write(root, relative, text):
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def test_every_documented_rule_is_registered():
+    names = set(all_rules())
+    assert set(STYLE_RULES) <= names
+    assert set(INVARIANT_RULES) <= names
+
+
+def test_rules_have_names_and_descriptions():
+    for name, rule in all_rules().items():
+        assert rule.name == name
+        assert rule.description
+
+
+def test_get_rule_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown rule"):
+        get_rule("NOPE999")
+
+
+def test_finding_render_is_path_line_rule():
+    finding = Finding("DET001", "src/repro/x.py", 7, "boom")
+    assert finding.render() == "src/repro/x.py:7: DET001 boom"
+
+
+def test_project_loads_get_and_under(tmp_path):
+    write(tmp_path, "src/repro/a.py", "x = 1\n")
+    write(tmp_path, "src/repro/sub/b.py", "y = 2\n")
+    write(tmp_path, "elsewhere/c.py", "z = 3\n")
+    project = Project(tmp_path, ("src",))
+    assert project.get("src/repro/a.py") is not None
+    assert project.get("elsewhere/c.py") is None
+    under = [source.relative for source in project.under("src/repro")]
+    assert under == ["src/repro/a.py", "src/repro/sub/b.py"]
+
+
+def test_trailing_suppression_covers_its_line(tmp_path):
+    write(tmp_path, "src/repro/x.py",
+          "import time\n"
+          "t = time.time()  # repro: allow-DET001 harness\n")
+    assert run_rules(tmp_path, select=["DET001"]) == []
+
+
+def test_standalone_suppression_covers_next_code_line(tmp_path):
+    write(tmp_path, "src/repro/x.py",
+          "import time\n"
+          "# repro: allow-DET001 — measurement harness, not simulated time\n"
+          "t = time.time()\n")
+    assert run_rules(tmp_path, select=["DET001"]) == []
+
+
+def test_suppression_is_rule_specific(tmp_path):
+    write(tmp_path, "src/repro/x.py",
+          "import time\n"
+          "t = time.time()  # repro: allow-PERF001\n")
+    findings = run_rules(tmp_path, select=["DET001"])
+    assert [f.rule for f in findings] == ["DET001"]
+
+
+def test_unsuppressed_wallclock_is_reported(tmp_path):
+    write(tmp_path, "src/repro/x.py", "import time\nt = time.time()\n")
+    findings = run_rules(tmp_path, select=["DET001"])
+    assert len(findings) == 1
+    assert findings[0].line == 2
+
+
+def test_import_aliases_resolve_calls():
+    tree = ast.parse(
+        "import time\n"
+        "import numpy as np\n"
+        "from time import perf_counter as pc\n"
+    )
+    aliases = import_aliases(tree)
+    assert aliases == {"time": "time", "np": "numpy", "pc": "time.perf_counter"}
+    call = ast.parse("np.random.default_rng()").body[0].value
+    assert resolve_call_name(call.func, aliases) == "numpy.random.default_rng"
+    bare = ast.parse("pc()").body[0].value
+    assert resolve_call_name(bare.func, aliases) == "time.perf_counter"
+
+
+def test_config_defaults_describe_this_repo():
+    config = AnalysisConfig()
+    assert config.src_prefix == "src/repro"
+    assert "src" in config.project_targets()
+    assert config.with_root_targets(("src",)).style_targets == ("src",)
