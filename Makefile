@@ -6,7 +6,7 @@ WORKERS ?= 4
 ENV      = PYTHONPATH=src
 
 .PHONY: check lint analyze test test-engine test-coding bench bench-baseline \
-        profile docs-check figures examples clean
+        profile docs-check sweep-smoke figures examples clean
 
 # The pre-merge gate: lint, the static invariant analyzer, the engine
 # differential tests (fail fast on a hot-path regression), then the full
@@ -62,7 +62,14 @@ profile:
 # Every repro.* name referenced in README.md and docs/ must resolve.
 docs-check:
 	$(ENV) $(PYTHON) scripts/docs_check.py README.md docs/paper-map.md \
-		docs/scenarios.md docs/performance.md docs/invariants.md
+		docs/scenarios.md docs/performance.md docs/invariants.md \
+		docs/sweeps.md
+
+# End-to-end sweep-service smoke: a multi-worker CLI sweep SIGKILLed
+# mid-flight must resume computing only the missing cells and aggregate
+# bit-identically to an uninterrupted run.
+sweep-smoke:
+	$(ENV) $(PYTHON) scripts/sweep_smoke.py
 
 # Run (and cache under results/) every paper-figure scenario preset.
 figures:

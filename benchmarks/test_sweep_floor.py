@@ -1,0 +1,136 @@
+"""Sweep-orchestrator and recode performance floors: this PR's perf claims.
+
+Two wall-clock contracts, both behind ``--perf-strict`` like every timing
+threshold in this suite:
+
+* the orchestrator's persistent-worker pool runs the shared cold-sweep
+  workload (:mod:`repro.experiments.orchestrator.bench` — the exact
+  workload the committed ``sweep`` stage of ``make bench-baseline``
+  records) at least **1.5x** faster than the PR 1 fresh-pool-per-call
+  runner, spin-up included, and replays it from a warm content-addressed
+  store within a fixed wall budget recomputing nothing;
+* the forwarder recode path (``combine_rows``: one fused coefficient
+  product instead of materialising K recode rows per emitted packet) at
+  least **1.5x** the ``forwarder_recode_pps`` committed by the
+  bench-baseline/v4 run.
+
+Bit-identity of the fused recode path and of pooled-vs-serial sweeps is
+*not* a timing property and is asserted unconditionally in
+``tests/coding/`` and ``tests/scenarios/``.
+"""
+
+from __future__ import annotations
+
+import gc
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.coding.encoder import ForwarderEncoder, SourceEncoder
+from repro.coding.packet import make_batch
+from repro.experiments.orchestrator import run_sweep, shutdown_shared_pools
+from repro.experiments.orchestrator.bench import (
+    BENCH_CELLS,
+    BENCH_WORKERS,
+    bench_sweep_specs,
+)
+from repro.experiments.parallel import run_cells
+
+K = 32
+PACKET_SIZE = 1500
+ROUNDS = 3
+#: ``coding_pps.forwarder_recode_pps`` committed by the bench-baseline/v4
+#: run — the same constant ``scripts/bench_baseline.py`` records as
+#: ``recode_speedup_vs_v4_baseline``.
+RECODE_BASELINE_PPS = 7352.648894919501
+#: Cold sweeps and recode both claim the same conservative multiple.
+FLOOR = 1.5
+#: Warm-cache replay of all BENCH_CELLS cells must finish within this
+#: budget — pure store reads, measured at ~2 orders of magnitude under it.
+WARM_REPLAY_BUDGET_S = 2.0
+
+
+def _best_of(measure, rounds: int = ROUNDS) -> float:
+    gc.collect()
+    return min(measure() for _ in range(rounds))
+
+
+def _timed(func) -> float:
+    start = time.perf_counter()
+    func()
+    return time.perf_counter() - start
+
+
+@pytest.mark.perf_strict
+def test_cold_sweep_floor_vs_pr1_runner():
+    """Persistent pool >= 1.5x the fresh-pool runner, spin-up included."""
+    specs = bench_sweep_specs()
+
+    def pr1_round() -> float:
+        return _timed(lambda: [run_cells(spec.expand(), workers=BENCH_WORKERS)
+                               for spec in specs])
+
+    def cold_round() -> float:
+        shutdown_shared_pools()  # the orchestrator pays spin-up every round
+        return _timed(lambda: [run_sweep(spec, workers=BENCH_WORKERS,
+                                         results_dir=None)
+                               for spec in specs])
+
+    try:
+        pr1_s = _best_of(pr1_round)
+        cold_s = _best_of(cold_round)
+    finally:
+        shutdown_shared_pools()
+    speedup = pr1_s / cold_s
+    assert speedup >= FLOOR, (
+        f"cold sweep speedup {speedup:.2f}x under the {FLOOR}x floor "
+        f"(PR 1 runner {BENCH_CELLS / pr1_s:.0f} cells/s, "
+        f"orchestrator {BENCH_CELLS / cold_s:.0f} cells/s)")
+
+
+@pytest.mark.perf_strict
+def test_warm_replay_recomputes_nothing_within_budget():
+    """A populated store replays the whole workload as hits, fast."""
+    specs = bench_sweep_specs()
+    with tempfile.TemporaryDirectory() as tmp:
+        results_dir = Path(tmp)
+        try:
+            for spec in specs:  # populate outside the timing
+                run_sweep(spec, workers=BENCH_WORKERS, results_dir=results_dir)
+            replays: list = []
+            elapsed = _timed(lambda: replays.extend(
+                run_sweep(spec, workers=BENCH_WORKERS, results_dir=results_dir)
+                for spec in specs))
+        finally:
+            shutdown_shared_pools()
+    assert sum(result.computed_cells for result in replays) == 0
+    assert sum(result.cached_cells for result in replays) == BENCH_CELLS
+    assert elapsed < WARM_REPLAY_BUDGET_S, (
+        f"warm replay took {elapsed:.3f}s, budget {WARM_REPLAY_BUDGET_S}s")
+
+
+@pytest.mark.perf_strict
+def test_forwarder_recode_floor_vs_v4_baseline():
+    """The fused combine_rows recode path >= 1.5x the committed v4 rate."""
+    batch = make_batch(batch_size=K, packet_size=PACKET_SIZE,
+                       rng=np.random.default_rng(1))
+    packets = SourceEncoder(batch, np.random.default_rng(2)).next_packets(K)
+
+    def recode_batch() -> None:
+        forwarder = ForwarderEncoder(batch_size=K, packet_size=PACKET_SIZE,
+                                     rng=np.random.default_rng(3))
+        for coded in packets[: K // 2]:
+            forwarder.add_packet(coded)
+        for _ in range(K // 2):
+            forwarder.next_packet()
+
+    # Same recipe as coding_benchmarks() in scripts/bench_baseline.py,
+    # more rounds: each round is short enough for scheduler noise.
+    recode_s = _best_of(lambda: _timed(recode_batch), rounds=15) / K
+    pps = 1.0 / recode_s
+    assert pps >= FLOOR * RECODE_BASELINE_PPS, (
+        f"forwarder recode {pps:.0f} pps under "
+        f"{FLOOR}x v4 baseline ({FLOOR * RECODE_BASELINE_PPS:.0f} pps)")

@@ -26,6 +26,14 @@ final ``decode()`` call — the deferred-transform engine moves the payload
 back-substitution there, so an insert-only loop would overstate it — see
 docs/performance.md for how to read the file.
 
+Schema ``bench-baseline/v5`` adds the ``sweep`` stage (cold multi-sweep
+cells/s through the persistent-pool orchestrator vs the PR 1 fresh-pool
+runner, the steady-state warm-pool ratio, and the warm-cache replay of the
+whole workload through the content-addressed store) and
+``recode_speedup_vs_v4_baseline`` in ``coding_pps`` (the forwarder recode
+rate against the committed v4 figure — the associativity-fused
+``combine_rows`` path).
+
 Every quantity is measured best-of-N (minimum over rounds), the same
 discipline as :func:`repro.experiments.figures.table_4_1`: transient
 machine load inflates individual rounds, never the reported figure.  The
@@ -38,6 +46,7 @@ from __future__ import annotations
 import json
 import platform
 import sys
+import tempfile
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -51,6 +60,18 @@ from repro.coding.buffer import ENGINES                  # noqa: E402
 from repro.coding.decoder import BatchDecoder            # noqa: E402
 from repro.coding.encoder import ForwarderEncoder, SourceEncoder  # noqa: E402
 from repro.coding.packet import make_batch               # noqa: E402
+from repro.experiments.orchestrator import (  # noqa: E402
+    run_sweep,
+    shutdown_shared_pools,
+)
+from repro.experiments.orchestrator.bench import (  # noqa: E402
+    BENCH_CELLS,
+    BENCH_SEEDS_PER_SWEEP,
+    BENCH_SWEEPS,
+    BENCH_WORKERS,
+    bench_sweep_specs,
+)
+from repro.experiments.parallel import run_cells         # noqa: E402
 from repro.experiments.runner import PROTOCOLS, RunConfig, run_single_flow  # noqa: E402
 from repro.gf.arithmetic import scale_and_add            # noqa: E402
 from repro.gf.kernels import ShiftedRows, gf_matmul      # noqa: E402
@@ -73,6 +94,12 @@ ROUNDS = 5
 #: this figure — asserted by ``benchmarks/test_decode_floor.py`` and
 #: recorded here as ``decode_speedup_vs_v3_baseline``.
 V3_DECODE_BASELINE_PPS = 3790.919869913409
+#: ``forwarder_recode_pps`` committed by the bench-baseline/v4 run (vecmat
+#: over K materialised recode rows per emitted packet).  The fused
+#: ``combine_rows`` path must clear 1.5x this figure — asserted by
+#: ``benchmarks/test_sweep_floor.py`` and recorded here as
+#: ``recode_speedup_vs_v4_baseline``.
+V4_RECODE_BASELINE_PPS = 7352.648894919501
 MEDIUM_NODES = WirelessMedium.BENCH_NODE_COUNT
 MEDIUM_FRAMES = WirelessMedium.BENCH_FRAMES
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_coding.json"
@@ -144,6 +171,7 @@ def coding_benchmarks() -> dict[str, float]:
         "source_encode_batched_pps": 1.0 / batched_s,
         "destination_decode_pps": 1.0 / decode_s,
         "forwarder_recode_pps": 1.0 / recode_s,
+        "recode_speedup_vs_v4_baseline": 1.0 / recode_s / V4_RECODE_BASELINE_PPS,
     }
 
 
@@ -301,6 +329,74 @@ def kilonode_benchmarks() -> dict[str, float]:
     }
 
 
+def sweep_benchmarks() -> dict[str, float]:
+    """Cells per second through the sweep orchestrator vs the PR 1 runner.
+
+    The workload (:mod:`repro.experiments.orchestrator.bench`) is 16
+    successive 8-cell sweeps — the many-small-sweeps shape where the PR 1
+    runner forks a fresh pool per ``run_cells`` call while the orchestrator
+    keeps one warm.  Three figures:
+
+    * **cold**: ``shutdown_shared_pools()`` before each measured round, so
+      the orchestrator pays its full 8-worker spin-up inside the timing —
+      the honest like-for-like comparison, and the one the 1.5x floor in
+      ``benchmarks/test_sweep_floor.py`` asserts;
+    * **warm pool**: the same round with the pool already up — the
+      steady-state ratio a long parameter study actually sees;
+    * **warm replay**: the whole workload re-run against a populated
+      content-addressed store — every cell must come back as a hit
+      (``sweep_warm_replay_recomputed`` is committed so a silent cache
+      miss shows up in review, not just in wall clock).
+    """
+    specs = bench_sweep_specs()
+
+    def pr1_round() -> float:
+        return timed(lambda: [run_cells(spec.expand(), workers=BENCH_WORKERS)
+                              for spec in specs])
+
+    def cold_round() -> float:
+        shutdown_shared_pools()  # spin-up counts against the cold figure
+        return timed(lambda: [run_sweep(spec, workers=BENCH_WORKERS,
+                                        results_dir=None)
+                              for spec in specs])
+
+    def warm_round() -> float:
+        # The shared pool is still up from the previous round.
+        return timed(lambda: [run_sweep(spec, workers=BENCH_WORKERS,
+                                        results_dir=None)
+                              for spec in specs])
+
+    pr1_s = best_of(pr1_round, rounds=3)
+    cold_s = best_of(cold_round, rounds=3)
+    warm_s = best_of(warm_round, rounds=3)
+
+    recomputed = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        results_dir = Path(tmp)
+        for spec in specs:  # populate the store once, outside the timing
+            run_sweep(spec, workers=BENCH_WORKERS, results_dir=results_dir)
+
+        def replay_round() -> float:
+            nonlocal recomputed
+            replays: list = []
+            elapsed = timed(lambda: replays.extend(
+                run_sweep(spec, workers=BENCH_WORKERS, results_dir=results_dir)
+                for spec in specs))
+            recomputed = sum(result.computed_cells for result in replays)
+            return elapsed
+
+        replay_s = best_of(replay_round, rounds=3)
+    shutdown_shared_pools()  # leave no idle daemons behind for later stages
+    return {
+        "sweep_cold_cells_per_s_pr1": BENCH_CELLS / pr1_s,
+        "sweep_cold_cells_per_s": BENCH_CELLS / cold_s,
+        "sweep_cold_speedup": pr1_s / cold_s,
+        "sweep_warm_pool_speedup": pr1_s / warm_s,
+        "sweep_warm_replay_seconds": replay_s,
+        "sweep_warm_replay_recomputed": float(recomputed),
+    }
+
+
 def main(argv: list[str]) -> int:
     output = Path(argv[0]) if argv else DEFAULT_OUTPUT
     protocols = protocol_benchmarks()
@@ -311,11 +407,15 @@ def main(argv: list[str]) -> int:
     engine.update(scale_benchmarks())
     engine.update(kilonode_benchmarks())
     report = {
-        "schema": "bench-baseline/v4",
+        "schema": "bench-baseline/v5",
         "config": {"batch_size": K, "packet_size": PACKET_SIZE, "rounds": ROUNDS,
                    "medium_nodes": MEDIUM_NODES, "medium_frames": MEDIUM_FRAMES,
                    "engine_events": BENCH_EVENTS,
-                   "v3_decode_baseline_pps": V3_DECODE_BASELINE_PPS},
+                   "v3_decode_baseline_pps": V3_DECODE_BASELINE_PPS,
+                   "v4_recode_baseline_pps": V4_RECODE_BASELINE_PPS,
+                   "sweep_sweeps": BENCH_SWEEPS,
+                   "sweep_seeds_per_sweep": BENCH_SEEDS_PER_SWEEP,
+                   "sweep_workers": BENCH_WORKERS},
         "machine": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -326,6 +426,7 @@ def main(argv: list[str]) -> int:
         "decode_engines": decode_engine_benchmarks(),
         "medium_fps": medium_benchmarks(),
         "engine": engine,
+        "sweep": sweep_benchmarks(),
         "protocols": protocols,
     }
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",

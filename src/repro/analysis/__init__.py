@@ -31,6 +31,12 @@ AST-walking rule framework with repo-specific rules:
     in ``src/repro`` (the recurring half-threaded-field bug class) and the
     ``ScenarioSpec`` run/override plumbing must stay intact.
 
+``CACHE001``
+    Cache-key coverage: every ``RunConfig`` field must feed the
+    content-addressed result store's spec hash (``config_fingerprint``
+    enumerates ``fields(RunConfig)`` or names every declared field), so a
+    new knob can never alias a stale cached result.
+
 ``PERF001``
     Hot-path hygiene: the registered hot modules keep ``__slots__`` on
     their registered classes and stay free of per-event lambda allocation
@@ -60,6 +66,7 @@ from repro.analysis.framework import (
 )
 
 # Importing the rule modules registers their rules with the framework.
+from repro.analysis import cache_key  # noqa: F401  (registration import)
 from repro.analysis import config_threading  # noqa: F401  (registration import)
 from repro.analysis import determinism  # noqa: F401  (registration import)
 from repro.analysis import hotpath  # noqa: F401  (registration import)
@@ -71,7 +78,7 @@ from repro.analysis import style  # noqa: F401  (registration import)
 STYLE_RULES = ("SYN001", "E501", "W191", "W291", "W293", "F401")
 
 #: The repo-specific invariant rules (everything that is not style).
-INVARIANT_RULES = ("DET001", "DET002", "ENG001", "CFG001", "PERF001")
+INVARIANT_RULES = ("DET001", "DET002", "ENG001", "CFG001", "CACHE001", "PERF001")
 
 __all__ = [
     "AnalysisConfig",

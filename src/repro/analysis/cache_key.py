@@ -1,0 +1,118 @@
+"""CACHE001: every ``RunConfig`` field must feed the result-store spec hash.
+
+The content-addressed store's whole correctness argument rests on one
+function: ``config_fingerprint`` in the orchestrator's store module hashes
+the **fully resolved** config, so a knob added tomorrow changes every cache
+key it could influence and a stale hit can never alias a new configuration.
+The shipped implementation enumerates ``fields(RunConfig)`` — future-proof
+by construction — but a refactor could quietly replace the enumeration with
+a hand-maintained field list that drifts the next time a knob lands.  Then
+the cache serves results computed under a *different* configuration, the
+worst failure mode a result store can have, and no test that doesn't add a
+field would ever notice.
+
+The rule accepts either honest shape:
+
+* the fingerprint function calls ``fields(RunConfig)`` (or iterates any
+  ``fields(...)`` of the configured class) — generic enumeration; or
+* it mentions every currently-declared field by name (attribute access or
+  string constant) — exhaustive by hand, checked field by field.
+
+Anything else — a missing function, or a hand-written list missing a
+declared field — is a finding.  Tested live by injecting a fake field into
+a copy of the tree whose fingerprint hard-codes the field list and
+asserting the analyzer names the missing knob
+(``tests/analysis/test_cache_key.py``, mirroring CFG001's fixture).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import (
+    AnalysisConfig,
+    Finding,
+    Project,
+    Rule,
+    register,
+)
+from repro.analysis.config_threading import _dataclass_fields
+
+
+@register
+class CacheKeyCoverage(Rule):
+    """CACHE001: the store's config fingerprint must cover every field."""
+
+    name = "CACHE001"
+    description = ("every RunConfig field must feed the content-addressed "
+                   "store's spec hash (config_fingerprint)")
+
+    def check(self, project: Project, config: AnalysisConfig) -> Iterable[Finding]:
+        store = project.get(config.cache_store_module)
+        if store is None or store.tree is None:
+            return  # fixture trees without an orchestrator skip the rule
+        config_path, class_name = config.config_class
+        config_source = project.get(config_path)
+        if config_source is None or config_source.tree is None:
+            return
+        declared = self._declared_fields(config_source.tree, class_name)
+        if not declared:
+            return  # CFG001 already reports a fieldless config class
+        fingerprint = self._find_function(store.tree, config.cache_hash_function)
+        if fingerprint is None:
+            yield Finding(
+                self.name, store.relative, 1,
+                f"`{config.cache_hash_function}` not found in the store "
+                "module — nothing guarantees the resolved config feeds the "
+                "cache key",
+            )
+            return
+        if self._enumerates_fields(fingerprint, class_name):
+            return  # fields(RunConfig) enumeration covers everything, always
+        mentioned = self._mentioned_names(fingerprint)
+        for field_name, line in sorted(declared.items(), key=lambda kv: kv[1]):
+            if field_name not in mentioned:
+                yield Finding(
+                    self.name, store.relative, fingerprint.lineno,
+                    f"`{class_name}.{field_name}` (declared at "
+                    f"{config_path}:{line}) never feeds "
+                    f"`{config.cache_hash_function}` — a cached result could "
+                    "alias a run with a different value of this knob",
+                )
+
+    @staticmethod
+    def _declared_fields(tree: ast.Module, class_name: str) -> dict[str, int]:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
+                return _dataclass_fields(node)
+        return {}
+
+    @staticmethod
+    def _find_function(tree: ast.Module, name: str) -> ast.FunctionDef | None:
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == name:
+                return node
+        return None
+
+    @staticmethod
+    def _enumerates_fields(function: ast.FunctionDef, class_name: str) -> bool:
+        """True when the function iterates ``fields(<class_name>)``."""
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call) \
+                    and getattr(node.func, "id", None) == "fields" \
+                    and any(getattr(arg, "id", None) == class_name
+                            for arg in node.args):
+                return True
+        return False
+
+    @staticmethod
+    def _mentioned_names(function: ast.FunctionDef) -> set[str]:
+        """Attribute reads and string constants inside the function body."""
+        mentioned: set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Attribute):
+                mentioned.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                mentioned.add(node.value)
+        return mentioned

@@ -184,6 +184,10 @@ class AnalysisConfig:
     config_class: tuple[str, str] = ("src/repro/experiments/runner.py", "RunConfig")
     #: The scenario-spec module whose run/override plumbing CFG001 checks.
     spec_module: str = "src/repro/scenarios/spec.py"
+    #: Where the content-addressed store's config fingerprint lives (CACHE001).
+    cache_store_module: str = "src/repro/experiments/orchestrator/store.py"
+    #: The function that must feed every config field into the spec hash.
+    cache_hash_function: str = "config_fingerprint"
     #: Hot modules PERF001 polices for lambdas / ``print``.
     hot_modules: tuple[str, ...] = (
         "src/repro/sim/events.py",

@@ -17,9 +17,14 @@ e.g. from ``show``).  ``--set path=value`` applies one dotted-path override
 link-state staleness).  ``--channel KIND`` swaps the channel model
 (``static``, ``gilbert_elliott``, ``distance_fading``, ``trace``) and
 ``--mobility KIND`` the dynamic-topology model (``none``, ``link_churn``,
-``random_walk``, ``random_waypoint``).  Results are cached as JSON under
-``results/<scenario>/`` keyed by a content hash of each cell, so repeated
-invocations only simulate what changed; ``--force`` recomputes.
+``random_walk``, ``random_waypoint``).  Results land in the
+content-addressed store under ``results/store/<scenario>/`` keyed by
+``(spec-hash, seed, code-version)``, so repeated invocations only simulate
+what changed — including after a kill: re-running the same sweep command
+resumes with only the missing cells (``--force`` recomputes everything).
+``sweep`` streams progress (cells/s, ETA, running partial aggregate) to
+stderr with ``--progress`` and tolerates crashed or wedged workers via
+``--retries`` / ``--cell-timeout``.
 
 Also installable as a console script (``repro = repro.cli:main``).
 """
@@ -32,6 +37,8 @@ import sys
 from pathlib import Path
 from typing import Any
 
+from repro.experiments.orchestrator.engine import DEFAULT_RETRIES
+from repro.experiments.orchestrator.store import ResultStore
 from repro.experiments.parallel import (
     DEFAULT_RESULTS_DIR,
     load_cached_results,
@@ -129,6 +136,18 @@ def _add_spec_arguments(parser: argparse.ArgumentParser, sweep: bool) -> None:
         parser.add_argument("--axis", action="append", metavar="PATH=V1,V2,...",
                             help="add or replace a sweep axis")
         parser.add_argument("--seeds", help="comma-separated replication seeds")
+        parser.add_argument("--progress", action="store_true",
+                            help="stream cells/s, ETA and a running partial "
+                                 "aggregate to stderr while cells run")
+        parser.add_argument("--retries", type=int, default=DEFAULT_RETRIES,
+                            help="extra attempts per cell after a worker "
+                                 "crash, hang or exception (default: "
+                                 f"{DEFAULT_RETRIES})")
+        parser.add_argument("--cell-timeout", type=float, default=None,
+                            metavar="SECONDS", dest="cell_timeout",
+                            help="kill and replace a worker silent for this "
+                                 "long; its cells are retried elsewhere "
+                                 "(default: no timeout)")
 
 
 def _emit(result, as_json: bool) -> None:
@@ -167,12 +186,27 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _warn_legacy_cache(results_dir: str, scenario: str) -> None:
+    """Point out pre-store flat-cache files, which are never read back."""
+    legacy = ResultStore(results_dir, code="").legacy_cell_files(scenario)
+    if legacy:
+        print(f"repro: note: ignoring {len(legacy)} pre-orchestrator cache "
+              f"file(s) under {results_dir}/{scenario}/ — the store now lives "
+              f"in {results_dir}/store/ keyed by (spec, seed, code version); "
+              "delete the old files to silence this note",
+              file=sys.stderr)
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
+    if not args.no_cache:
+        _warn_legacy_cache(args.results_dir, spec.name)
     result = run_sweep(
         spec, workers=args.workers,
         results_dir=None if args.no_cache else args.results_dir,
         cache=not args.no_cache, force=args.force,
+        retries=args.retries, cell_timeout=args.cell_timeout,
+        progress=args.progress,
     )
     _emit(result, args.json)
     return 0
@@ -229,8 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, help="pin a single replication seed")
     run.set_defaults(func=_command_run)
 
-    sweep = commands.add_parser("sweep",
-                                help="run a full sweep across worker processes")
+    sweep = commands.add_parser(
+        "sweep", help="run a full sweep across worker processes",
+        epilog="migration: the pre-orchestrator flat cache "
+               "(results/<scenario>/cell-*.json) carries no code version and "
+               "is never read; results now live in results/store/ keyed by "
+               "(spec, seed, code version) — delete the old files at leisure.")
     _add_spec_arguments(sweep, sweep=True)
     sweep.set_defaults(func=_command_sweep)
 

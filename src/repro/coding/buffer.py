@@ -62,6 +62,7 @@ import numpy as np
 from repro.coding.packet import CodedPacket
 from repro.gf.arithmetic import _zero_bytes, vec_scale
 from repro.gf.kernels import (
+    ShiftedRows,
     gf_matmul,
     gf_outer,
     gf_vecmat,
@@ -131,6 +132,11 @@ class BatchBuffer:
             self._raw = (np.zeros((batch_size, packet_size), dtype=np.uint8)
                          if self._with_transform else None)
             self._payload_cache: np.ndarray | None = None
+            # Cached shifted-row expansion of the admitted raw payloads for
+            # the pre-code fast path; rebuilt lazily after each insert
+            # (building costs about one direct vecmat, so the cache never
+            # loses even under fully interleaved insert/pre-code traffic).
+            self._raw_operand: ShiftedRows | None = None
             self._payload_rows = None
         else:
             # Row i, when occupied, has its leading non-zero coefficient at
@@ -236,6 +242,7 @@ class BatchBuffer:
         if with_transform:
             self._raw[slot] = payload
         self._payload_cache = None
+        self._raw_operand = None
         return True
 
     def _cols(self, width: int) -> np.ndarray:
@@ -374,6 +381,55 @@ class BatchBuffer:
         transform = self._ops[self._occupied, batch_size:batch_size + count]
         return gf_matmul(transform, self._raw[:count])
 
+    def combine_rows(self, coefficients: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One linear combination over the stored rows, payloads left deferred.
+
+        The forwarder pre-code fast path (``vectorized`` engine only):
+        returns ``(code_vector, payload)`` for ``coefficients @ rows``
+        without ever materialising the reduced payload matrix.  The payload
+        combination is re-associated through the stored transform::
+
+            c @ (T @ R)  ==  (c @ T) @ R
+
+        which is exact in GF(2^8), so the bytes match the materialised path
+        bit for bit while costing ``O(r^2 + r*S)`` instead of the
+        ``O(r^2 * S)`` back-substitution (plus a full matrix copy) per
+        pre-code.  When the reduced payloads happen to be materialised
+        already (a decode ran since the last insert), the cached matrix is
+        combined directly — one ``(1, r) @ (r, S)`` product.
+
+        Args:
+            coefficients: one combination coefficient per stored row, in
+                pivot-column order (the order of :meth:`coefficient_matrix`).
+
+        Returns:
+            The combined code vector (length K) and payload (length S),
+            both freshly owned.
+        """
+        if self.engine != "vectorized":
+            raise RuntimeError("combine_rows is a vectorized-engine fast path")
+        count = self._rank
+        if count == 0:
+            raise RuntimeError("cannot combine over an empty buffer")
+        if coefficients.shape[0] != count:
+            raise ValueError(
+                f"expected {count} combination coefficients, "
+                f"got {coefficients.shape[0]}")
+        vector = self._vecmat(coefficients, self._matrix[self._occupied])
+        if not self._with_transform:
+            payload = np.zeros(self.packet_size, dtype=np.uint8)
+        elif self._payload_cache is not None:
+            payload = self._vecmat(coefficients, self._payload_cache)
+        else:
+            batch_size = self.batch_size
+            reduced = self._vecmat(
+                coefficients,
+                self._ops[self._occupied, batch_size:batch_size + count])
+            if self._raw_operand is None:
+                self._raw_operand = ShiftedRows(self._raw[:count])
+            payload = self._raw_operand.vecmul(reduced)
+        return vector, payload
+
     def decode(self) -> np.ndarray:
         """Recover the K native payloads; requires a full-rank buffer.
 
@@ -403,6 +459,7 @@ class BatchBuffer:
             if self._raw is not None:
                 self._raw[:] = 0
             self._payload_cache = None
+            self._raw_operand = None
         else:
             self._matrix[:] = 0
             if self._payload_rows is not None:

@@ -166,6 +166,14 @@ class ForwarderEncoder:
             self._precoded_payload = None
             return
         coefficients = random_code_vector(self.buffer.rank, self.rng)
+        if self.buffer.engine == "vectorized":
+            # Fast path: combine through the deferred transform without
+            # materialising (and copying) the reduced payload matrix —
+            # bit-identical by GF associativity, pinned by the engine
+            # differential tests.
+            self._precoded_vector, self._precoded_payload = \
+                self.buffer.combine_rows(coefficients)
+            return
         vecmat = gf_vecmat if self.fast else gf_vecmat_reference
         self._precoded_vector = vecmat(coefficients,
                                        self.buffer.coefficient_matrix())

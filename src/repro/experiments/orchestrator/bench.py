@@ -1,0 +1,50 @@
+"""The shared cold-sweep benchmark workload.
+
+``scripts/bench_baseline.py`` (the committed ``sweep`` stage) and the
+perf-strict floor in ``benchmarks/test_sweep_floor.py`` must measure the
+same quantity, so the workload lives here — the same pattern as
+:func:`repro.sim.events.pump_timer_workload` for the engine stage.
+
+The shape is chosen to exercise what the orchestrator actually changes.
+The PR 1 runner forks a fresh multiprocessing pool for *every*
+``run_cells`` call, so a workload of many small successive sweeps — the
+shape real parameter studies have — pays the fork/import tax over and
+over.  The orchestrator's persistent pool pays it once.  Hence: many
+sweeps, each of a few sub-second cells (gap mode on a short lossy chain),
+rather than one big sweep whose cell cost would drown the dispatch path
+both runners share.
+
+Seeds are disjoint across sweeps so a results-dir'd run stores
+:data:`BENCH_CELLS` distinct cells (the warm-replay measurement replays
+all of them).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import ScenarioSpec, TopologySpec, WorkloadSpec
+
+#: Successive sweeps per measured round (each forks a fresh PR 1 pool).
+BENCH_SWEEPS = 16
+#: Seeds (= cells: one protocol, no sweep axes) per sweep.
+BENCH_SEEDS_PER_SWEEP = 8
+#: Worker processes both runners are offered.
+BENCH_WORKERS = 8
+#: Total cells per measured round.
+BENCH_CELLS = BENCH_SWEEPS * BENCH_SEEDS_PER_SWEEP
+
+
+def bench_sweep_specs() -> list[ScenarioSpec]:
+    """The benchmark's sweep list: 16 sweeps x 8 gap-mode chain cells."""
+    return [
+        ScenarioSpec(
+            name="bench_sweep",
+            topology=TopologySpec("chain", {"hops": 4, "link_delivery": 0.7,
+                                            "skip_delivery": 0.25}),
+            workload=WorkloadSpec("explicit", {"pairs": [[0, 4]]}),
+            protocols=("MORE",),
+            mode="gap",
+            seeds=tuple(range(100 * index + 1,
+                              100 * index + 1 + BENCH_SEEDS_PER_SWEEP)),
+        )
+        for index in range(BENCH_SWEEPS)
+    ]

@@ -1,0 +1,324 @@
+"""The sweep engine: content-addressed caching + persistent-worker dispatch.
+
+``run_sweep`` here is the real implementation behind
+:func:`repro.experiments.parallel.run_sweep` (kept as a thin shim for
+compatibility).  The flow per sweep:
+
+1. expand the spec into cells and compute every cell's
+   :class:`~repro.experiments.orchestrator.store.CellKey` up front;
+2. satisfy what the store already holds (unless ``force``) — this is also
+   the **resume** path: a killed sweep's completed cells are plain store
+   hits on the next run, so only the missing cells execute;
+3. run the rest — in-process when ``workers <= 1`` (the bit-identity
+   reference path), otherwise batched across a persistent
+   :class:`~repro.experiments.orchestrator.workers.WorkerPool` with
+   per-cell retry, a per-worker inactivity timeout, and crashed-worker
+   replacement;
+4. stream progress + a running partial aggregate to stderr, journal every
+   completion, and save each fresh result to the store the moment it lands
+   (not at sweep end — that is what makes SIGKILL cheap).
+
+Parallel and serial runs are bit-identical because cells are deterministic
+and results are reassembled in expansion order; nothing about scheduling
+can leak into a cell's bytes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from queue import Empty
+from typing import TYPE_CHECKING, Any
+
+from repro.experiments.orchestrator.journal import SweepJournal
+from repro.experiments.orchestrator.progress import ProgressPrinter
+from repro.experiments.orchestrator.store import CellKey, ResultStore
+from repro.experiments.orchestrator.workers import (
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_IDLE,
+    WorkerPool,
+    shared_pool,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: scenarios uses workloads
+    from repro.scenarios.execute import CellResult
+    from repro.scenarios.spec import ScenarioCell, ScenarioSpec
+
+#: Default results root, relative to the current working directory.
+DEFAULT_RESULTS_DIR = Path("results")
+
+#: Extra attempts granted to a cell whose worker crashed, hung or raised.
+DEFAULT_RETRIES = 2
+
+#: How long (seconds) a busy worker may go silent before it is presumed
+#: wedged, killed and replaced.  ``None`` disables the watchdog.
+DEFAULT_CELL_TIMEOUT: float | None = None
+
+#: Result-queue poll period: how often the watchdog gets to look around.
+_POLL_SECONDS = 0.2
+
+#: Upper bound on cells per dispatch message (IPC amortisation cap).
+_MAX_BATCH = 32
+
+
+class SweepError(RuntimeError):
+    """A cell exhausted its retries (worker traceback in the message)."""
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep: every cell's result, in expansion order."""
+
+    scenario: str
+    cells: list[CellResult]
+    cached_cells: int = 0
+    elapsed: float = 0.0
+    workers: int = 1
+    axes: list[str] = field(default_factory=list)
+    computed_cells: int = 0
+
+    def series(self, name: str) -> dict[tuple, list[float]]:
+        """One named series per cell, keyed by (axis values..., seed)."""
+        out = {}
+        for cell in self.cells:
+            key = tuple(cell.axes.get(axis) for axis in self.axes) + (cell.seed,)
+            out[key] = cell.series.get(name, [])
+        return out
+
+    def report(self) -> str:
+        """Text report: one block per cell plus a sweep footer."""
+        blocks = [cell.report() for cell in self.cells]
+        footer = (f"sweep {self.scenario}: {len(self.cells)} cells "
+                  f"({self.cached_cells} cached) in {self.elapsed:.1f}s "
+                  f"with {self.workers} worker(s)")
+        return "\n\n".join(blocks + [footer])
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "cached_cells": self.cached_cells,
+            "computed_cells": self.computed_cells,
+            "elapsed": self.elapsed,
+            "workers": self.workers,
+            "axes": list(self.axes),
+        }
+
+
+def run_sweep(spec: ScenarioSpec, workers: int = 1,
+              results_dir: str | Path | None = DEFAULT_RESULTS_DIR,
+              cache: bool = True, force: bool = False,
+              retries: int = DEFAULT_RETRIES,
+              cell_timeout: float | None = DEFAULT_CELL_TIMEOUT,
+              progress: bool = False,
+              pool: WorkerPool | None = None) -> SweepResult:
+    """Run every cell of ``spec``'s sweep through the store + worker pool.
+
+    Args:
+        spec: the scenario to expand and run.
+        workers: worker processes for uncached cells (1 = in-process serial).
+        results_dir: results root (``None`` disables the store entirely).
+        cache: read and write the content-addressed store under
+            ``results_dir``.
+        force: recompute every cell even when stored (overwrites entries).
+        retries: extra attempts per cell after a crash, hang or exception
+            before the sweep fails with :class:`SweepError`.
+        cell_timeout: seconds of per-worker silence before the watchdog
+            kills and replaces it (``None`` = no timeout).
+        progress: stream cells/s, ETA and a running partial aggregate to
+            stderr while the sweep runs.
+        pool: an explicit :class:`WorkerPool` (tests inject fault-carrying
+            pools here); by default the process-wide shared pool is used
+            and left warm for the next sweep.
+
+    Returns:
+        A :class:`SweepResult` with cells in deterministic expansion order,
+        bit-identical for any worker count.
+    """
+    # repro: allow-DET001 — sweep wall-time is reporting only, never behaviour
+    started = time.perf_counter()
+    cells = spec.expand()
+    use_store = cache and results_dir is not None
+    store = ResultStore(results_dir) if use_store else None
+    keys: list[CellKey | None] = [store.key_for(cell) if store else None
+                                  for cell in cells]
+
+    results: dict[int, CellResult] = {}
+    if store is not None and not force:
+        for position, key in enumerate(keys):
+            hit = store.load(key)
+            if hit is not None:
+                results[position] = hit
+    cached = len(results)
+
+    journal = SweepJournal(store, spec) if store is not None else None
+    if journal is not None:
+        journal.start(spec.name, [key.render() for key in keys], cached)
+    printer = ProgressPrinter(spec.name, total=len(cells), enabled=progress)
+    if journal is not None:
+        for position in sorted(results):
+            journal.cell(position, keys[position].render(), "cached")
+    for position in sorted(results):
+        printer.cell_done("cached", results[position].summary)
+
+    pending = [position for position in range(len(cells))
+               if position not in results]
+
+    def complete(position: int, result: CellResult, attempt: int) -> None:
+        results[position] = result
+        if store is not None:
+            store.save(keys[position], cells[position], result)
+        if journal is not None:
+            status = "computed" if attempt == 1 else "retried"
+            journal.cell(position, keys[position].render(), status, attempt)
+        printer.cell_done("computed", result.summary)
+
+    if pending:
+        if workers <= 1 and pool is None:
+            _run_serial(cells, pending, complete)
+        else:
+            _run_pooled(cells, pending, complete, printer,
+                        pool if pool is not None else shared_pool(max(1, workers)),
+                        retries=retries, cell_timeout=cell_timeout)
+
+    printer.finish()
+    if journal is not None:
+        journal.finish(computed=len(cells) - cached, cached=cached)
+    return SweepResult(
+        scenario=spec.name,
+        cells=[results[position] for position in range(len(cells))],
+        cached_cells=cached,
+        computed_cells=len(cells) - cached,
+        elapsed=time.perf_counter() - started,  # repro: allow-DET001
+        workers=max(1, workers),
+        axes=list(spec.sweep),
+    )
+
+
+def run_scenario(spec: ScenarioSpec, seed: int | None = None, workers: int = 1,
+                 results_dir: str | Path | None = DEFAULT_RESULTS_DIR,
+                 cache: bool = True, force: bool = False,
+                 **options: Any) -> SweepResult:
+    """Run a scenario, optionally pinned to a single seed (the CLI ``run`` verb)."""
+    if seed is not None:
+        spec = spec.with_overrides({})
+        spec.seeds = (int(seed),)
+    return run_sweep(spec, workers=workers, results_dir=results_dir, cache=cache,
+                     force=force, **options)
+
+
+def _run_serial(cells: list[ScenarioCell], pending: list[int],
+                complete: Any) -> None:
+    """The in-process path — and the bit-identity reference for the pool."""
+    from repro.scenarios.execute import run_cell
+
+    for position in pending:
+        complete(position, run_cell(cells[position]), 1)
+
+
+def _run_pooled(cells: list[ScenarioCell], pending: list[int], complete: Any,
+                printer: ProgressPrinter, pool: WorkerPool,
+                retries: int, cell_timeout: float | None) -> None:
+    """Batched dispatch across the pool with retry/timeout/replacement.
+
+    Bookkeeping invariant: every not-yet-finished position is in exactly one
+    of ``queue`` (waiting) or ``inflight`` (dispatched to a live worker).  A
+    worker that crashes, wedges past ``cell_timeout`` or reports a cell
+    exception moves its positions back to ``queue`` (attempt count bumped)
+    and is replaced; a position that exceeds ``retries`` extra attempts
+    raises :class:`SweepError` for the whole sweep — a sweep with holes in
+    it is not a result.
+    """
+    from repro.scenarios.execute import CellResult
+
+    queue = list(pending)
+    cell_dicts = {position: cells[position].to_dict() for position in pending}
+    attempts = {position: 0 for position in pending}
+    finished: set[int] = set()
+
+    outstanding: list[set[int]] = [set() for _ in pool.workers]
+    last_activity = [0.0 for _ in pool.workers]
+    task_owner: dict[int, int] = {}
+
+    def batch_size() -> int:
+        share = (len(queue) + pool.size * 4 - 1) // (pool.size * 4)
+        return max(1, min(_MAX_BATCH, share))
+
+    def dispatch(index: int) -> None:
+        if not queue or outstanding[index]:
+            return
+        batch = [queue.pop(0) for _ in range(min(batch_size(), len(queue)))]
+        task_id = pool.next_task_id()
+        for position in batch:
+            attempts[position] += 1
+        outstanding[index] = set(batch)
+        task_owner[task_id] = index
+        # repro: allow-DET001 — watchdog clock, never simulation behaviour
+        last_activity[index] = time.monotonic()
+        pool.workers[index].submit(
+            task_id, [(position, cell_dicts[position]) for position in batch])
+
+    def recycle(index: int, reason: str) -> None:
+        """Kill + replace worker ``index``; requeue its unfinished cells."""
+        stranded = sorted(outstanding[index])
+        outstanding[index] = set()
+        for task_id in [tid for tid, owner in task_owner.items() if owner == index]:
+            task_owner.pop(task_id)
+        for position in stranded:
+            if attempts[position] > retries:
+                raise SweepError(
+                    f"cell {position} failed after {attempts[position]} attempt(s): "
+                    f"worker {reason}")
+            printer.retry(reason, position)
+            queue.append(position)
+        pool.replace(index)
+        last_activity[index] = time.monotonic()  # repro: allow-DET001 — watchdog
+
+    for index in range(pool.size):
+        dispatch(index)
+
+    while len(finished) < len(pending):
+        try:
+            tag, task_id, position, payload = pool.result_queue.get(
+                timeout=_POLL_SECONDS)
+        except Empty:
+            now = time.monotonic()  # repro: allow-DET001 — watchdog clock
+            for index, worker in enumerate(pool.workers):
+                if not outstanding[index]:
+                    continue
+                if not worker.alive():
+                    recycle(index, "crashed")
+                elif (cell_timeout is not None
+                      and now - last_activity[index] > cell_timeout):
+                    recycle(index, f"timed out after {cell_timeout:.1f}s")
+            for index in range(pool.size):
+                dispatch(index)
+            continue
+
+        owner = task_owner.get(task_id)
+        if owner is None:
+            continue  # stale message from a worker replaced mid-task
+        last_activity[owner] = time.monotonic()  # repro: allow-DET001 — watchdog
+
+        if tag == MSG_IDLE:
+            task_owner.pop(task_id, None)
+            dispatch(owner)
+        elif tag == MSG_DONE:
+            outstanding[owner].discard(position)
+            if position not in finished:
+                finished.add(position)
+                complete(position, CellResult.from_dict(payload),
+                         attempts[position])
+        elif tag == MSG_ERROR:
+            outstanding[owner].discard(position)
+            if position in finished:
+                continue
+            if attempts[position] > retries:
+                raise SweepError(
+                    f"cell {position} failed after {attempts[position]} "
+                    f"attempt(s):\n{payload}")
+            printer.retry("cell raised", position)
+            queue.append(position)
+            dispatch(owner)

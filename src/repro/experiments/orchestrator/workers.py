@@ -1,0 +1,237 @@
+"""Persistent worker processes: warm interpreters for the sweep engine.
+
+The PR 1 runner forked a fresh ``multiprocessing.Pool`` for every sweep, so
+every ``run_sweep`` call re-paid process startup and (under spawn) the
+numpy + GF-table import bill.  Here workers are long-lived:
+
+* each :class:`Worker` is one process with its **own task queue** (so the
+  engine always knows exactly which cells a dead worker was holding) and a
+  **shared result queue** streaming one message per finished cell;
+* cells are dispatched in **batches** (one queue message carries many
+  cells) to amortise IPC, while results still stream back per cell so
+  progress, the store and the journal update while the batch runs;
+* a pool outlives ``run_sweep``: :func:`shared_pool` hands the same
+  :class:`WorkerPool` to successive sweeps in one process (the CLI, the
+  figure Makefile target, the benchmark harness), so only the first sweep
+  pays worker startup;
+* a worker that crashes or wedges is **replaced**, not mourned — the
+  engine requeues its unfinished cells elsewhere (see
+  :func:`repro.experiments.orchestrator.engine.run_sweep` for the
+  retry/timeout policy).
+
+Workers are daemons: an orchestrator killed with SIGKILL takes its pool
+down with it, which is exactly what the resume path wants (the store holds
+every completed cell; nothing else survives, nothing else needs to).
+
+:class:`FaultSpec` is deliberate test instrumentation — the retry/timeout
+tests inject a crash or a hang at a known cell position without patching
+worker internals.  It is inert unless explicitly passed to the pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import multiprocessing.context
+import os
+import time
+from dataclasses import dataclass
+from typing import Any
+
+#: Queue message tags streamed back by workers, one per cell (plus ``idle``
+#: once per finished batch so the engine can dispatch the next one).
+MSG_DONE = "done"
+MSG_ERROR = "error"
+MSG_IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Test-only fault injection: misbehave at selected cell positions.
+
+    ``kind`` is ``"crash"`` (``os._exit`` before running the cell) or
+    ``"hang"`` (sleep far past any sane timeout).  ``marker`` is a file
+    path used as cross-process state: when ``once`` is true the fault
+    fires only while the marker does not exist (creating it), so the
+    retry of the same cell succeeds — the recovery path the tests pin.
+    With ``once=False`` the fault fires every time, which is how the
+    retries-exhausted path is exercised.
+    """
+
+    kind: str
+    positions: tuple[int, ...]
+    marker: str
+    once: bool = True
+
+    def fire(self, position: int) -> None:
+        if position not in self.positions:
+            return
+        if self.once:
+            try:
+                with open(self.marker, "x", encoding="utf-8"):
+                    pass
+            except FileExistsError:
+                return  # already fired once; behave normally now
+        if self.kind == "hang":
+            time.sleep(3600.0)
+        else:
+            os._exit(3)
+
+
+def _worker_main(task_queue: Any, result_queue: Any,
+                 fault: FaultSpec | None) -> None:
+    """One worker's lifetime: import once, then run cell batches forever."""
+    import traceback
+
+    from repro.scenarios.execute import run_cell_dict
+
+    while True:
+        message = task_queue.get()
+        if message is None:
+            return
+        task_id, items = message
+        for position, cell_dict in items:
+            if fault is not None:
+                fault.fire(position)
+            try:
+                result = run_cell_dict(cell_dict)
+            except Exception:  # noqa: BLE001 - shipped to the engine verbatim
+                result_queue.put((MSG_ERROR, task_id, position,
+                                  traceback.format_exc()))
+            else:
+                result_queue.put((MSG_DONE, task_id, position, result))
+        result_queue.put((MSG_IDLE, task_id, None, None))
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork when available (warm parent imports for free), spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class Worker:
+    """One persistent worker process plus its private task queue."""
+
+    def __init__(self, context: multiprocessing.context.BaseContext,
+                 result_queue: Any, fault: FaultSpec | None) -> None:
+        self._context = context
+        self._result_queue = result_queue
+        self._fault = fault
+        self.task_queue = context.Queue()
+        self.process = context.Process(
+            target=_worker_main, args=(self.task_queue, result_queue, fault),
+            daemon=True)
+        self.process.start()
+
+    def submit(self, task_id: int, items: list[tuple[int, dict]]) -> None:
+        self.task_queue.put((task_id, items))
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Ask nicely, then make sure."""
+        if self.process.is_alive():
+            try:
+                self.task_queue.put(None)
+            except (ValueError, OSError):
+                pass
+            self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout)
+        self.task_queue.close()
+
+    def kill(self) -> None:
+        """Immediate removal (timeout/crash replacement path)."""
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(2.0)
+        self.task_queue.close()
+
+
+class WorkerPool:
+    """A fixed-size set of persistent workers sharing one result queue."""
+
+    def __init__(self, workers: int, fault: FaultSpec | None = None) -> None:
+        if workers < 1:
+            raise ValueError("a worker pool needs at least one worker")
+        self.size = workers
+        self.fault = fault
+        self._context = _pool_context()
+        self.result_queue = self._context.Queue()
+        self.workers: list[Worker] = [
+            Worker(self._context, self.result_queue, fault)
+            for _ in range(workers)
+        ]
+        self.closed = False
+        self._task_counter = itertools.count()
+
+    def next_task_id(self) -> int:
+        """Task ids unique for the pool's whole lifetime, not per sweep.
+
+        A sweep's engine loop exits as soon as its last cell lands, which
+        can leave that sweep's final ``idle`` messages sitting in the shared
+        result queue; unique ids let the next sweep recognise and drop them
+        instead of confusing them with its own tasks.
+        """
+        return next(self._task_counter)
+
+    def replace(self, index: int) -> Worker:
+        """Kill worker ``index`` and put a fresh one (new queue) in its slot.
+
+        The dead worker's task queue is abandoned with it: the engine owns
+        the record of which cells were outstanding and requeues them, so
+        nothing is lost and nothing is double-run.
+        """
+        self.workers[index].kill()
+        replacement = Worker(self._context, self.result_queue, self.fault)
+        self.workers[index] = replacement
+        return replacement
+
+    def worker_pids(self) -> list[int | None]:
+        """The workers' PIDs (stable across sweeps while the pool is warm)."""
+        return [worker.process.pid for worker in self.workers]
+
+    def shutdown(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for worker in self.workers:
+            worker.stop()
+        self.result_queue.close()
+
+
+#: The shared pools, keyed by worker count (faulty pools are never shared).
+_SHARED: dict[int, WorkerPool] = {}
+
+
+def shared_pool(workers: int) -> WorkerPool:
+    """The process-wide persistent pool for ``workers`` — create or reuse.
+
+    Reuse is what amortises fork + import + GF-table setup across
+    successive ``run_sweep`` calls; a pool whose workers all died (e.g.
+    a fault-injected test tore them down) is rebuilt transparently.
+    """
+    pool = _SHARED.get(workers)
+    if pool is not None and not pool.closed and any(w.alive() for w in pool.workers):
+        return pool
+    if pool is not None:
+        pool.shutdown()
+    pool = WorkerPool(workers)
+    _SHARED[workers] = pool
+    return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Stop every shared pool (atexit; also handy between benchmark stages)."""
+    for pool in list(_SHARED.values()):
+        pool.shutdown()
+    _SHARED.clear()
+
+
+atexit.register(shutdown_shared_pools)

@@ -1,91 +1,84 @@
-"""Parallel sweep runner: fan a scenario's cells across worker processes.
+"""Compatibility face of the sweep orchestrator (and the PR 1 reference).
 
-``ScenarioSpec.expand()`` turns a sweep into independent, deterministic
-cells (one per sweep point × seed), so parallelism is embarrassingly simple:
-each worker runs :func:`repro.scenarios.execute.run_cell` on its own cells
-and the results are identical to a serial run, bit for bit.  Completed cells
-are cached as JSON under ``results/<scenario>/cell-<key>.json`` keyed by a
-content hash of the cell, so re-running a sweep only executes what changed.
+The real implementation lives in :mod:`repro.experiments.orchestrator`:
+content-addressed result store, persistent worker pool, retry/timeout,
+streaming progress and resume-after-kill journals.  This module keeps the
+original public surface stable:
+
+* :func:`run_sweep` / :func:`run_scenario` — thin shims over
+  :func:`repro.experiments.orchestrator.engine.run_sweep` with the
+  original signatures (new orchestrator knobs ride in ``**options``);
+* :class:`SweepResult` / :data:`DEFAULT_RESULTS_DIR` — re-exported;
+* :func:`load_cached_results` — now reads the content-addressed store;
+* :func:`run_cells` — the original fresh-``multiprocessing.Pool``-per-call
+  runner, kept verbatim as the *baseline* the benchmark suite measures the
+  persistent pool against (and as the simplest possible parallel map for
+  ad-hoc cell lists).
 """
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import os
-import time
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
+
+from repro.experiments.orchestrator.engine import (
+    DEFAULT_RESULTS_DIR,
+    SweepError,
+    SweepResult,
+)
+from repro.experiments.orchestrator.engine import run_scenario as _run_scenario
+from repro.experiments.orchestrator.engine import run_sweep as _run_sweep
+from repro.experiments.orchestrator.store import ResultStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: scenarios uses workloads
     from repro.scenarios.execute import CellResult
     from repro.scenarios.spec import ScenarioCell, ScenarioSpec
 
-#: Default cache root, relative to the current working directory.
-DEFAULT_RESULTS_DIR = Path("results")
+__all__ = [
+    "DEFAULT_RESULTS_DIR",
+    "SweepError",
+    "SweepResult",
+    "load_cached_results",
+    "run_cells",
+    "run_scenario",
+    "run_sweep",
+]
 
 
-@dataclass
-class SweepResult:
-    """Outcome of one sweep: every cell's result, in expansion order."""
+def run_sweep(spec: ScenarioSpec, workers: int = 1,
+              results_dir: str | Path | None = DEFAULT_RESULTS_DIR,
+              cache: bool = True, force: bool = False,
+              **options: Any) -> SweepResult:
+    """Run every cell of ``spec``'s sweep (see the orchestrator engine).
 
-    scenario: str
-    cells: list[CellResult]
-    cached_cells: int = 0
-    elapsed: float = 0.0
-    workers: int = 1
-    axes: list[str] = field(default_factory=list)
-
-    def series(self, name: str) -> dict[tuple, list[float]]:
-        """One named series per cell, keyed by (axis values..., seed)."""
-        out = {}
-        for cell in self.cells:
-            key = tuple(cell.axes.get(axis) for axis in self.axes) + (cell.seed,)
-            out[key] = cell.series.get(name, [])
-        return out
-
-    def report(self) -> str:
-        """Text report: one block per cell plus a sweep footer."""
-        blocks = [cell.report() for cell in self.cells]
-        footer = (f"sweep {self.scenario}: {len(self.cells)} cells "
-                  f"({self.cached_cells} cached) in {self.elapsed:.1f}s "
-                  f"with {self.workers} worker(s)")
-        return "\n\n".join(blocks + [footer])
-
-    def to_dict(self) -> dict[str, Any]:
-        return {
-            "scenario": self.scenario,
-            "cells": [cell.to_dict() for cell in self.cells],
-            "cached_cells": self.cached_cells,
-            "elapsed": self.elapsed,
-            "workers": self.workers,
-            "axes": list(self.axes),
-        }
+    The original signature is preserved; orchestrator extras (``retries``,
+    ``cell_timeout``, ``progress``, ``pool``) pass through ``options``.
+    """
+    return _run_sweep(spec, workers=workers, results_dir=results_dir,
+                      cache=cache, force=force, **options)
 
 
-def cell_cache_path(results_dir: Path, cell: ScenarioCell) -> Path:
-    """Where one cell's cached result lives."""
-    return Path(results_dir) / cell.scenario.name / f"cell-{cell.key()}.json"
+def run_scenario(spec: ScenarioSpec, seed: int | None = None, workers: int = 1,
+                 results_dir: str | Path | None = DEFAULT_RESULTS_DIR,
+                 cache: bool = True, force: bool = False,
+                 **options: Any) -> SweepResult:
+    """Run a scenario, optionally pinned to a single seed (the CLI ``run`` verb)."""
+    return _run_scenario(spec, seed=seed, workers=workers,
+                         results_dir=results_dir, cache=cache, force=force,
+                         **options)
 
 
-def _load_cached(path: Path) -> "CellResult | None":
-    from repro.scenarios.execute import CellResult
+def load_cached_results(results_dir: str | Path = DEFAULT_RESULTS_DIR,
+                        scenarios: list[str] | None = None) -> dict[str, list[CellResult]]:
+    """All stored cell results under ``results_dir``, grouped by scenario name.
 
-    if not path.is_file():
-        return None
-    try:
-        data = json.loads(path.read_text(encoding="utf-8"))
-        return CellResult.from_dict(data["result"])
-    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-        return None  # corrupt cache entry: recompute and overwrite
-
-
-def _store_cached(path: Path, cell: ScenarioCell, result: CellResult) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {"cell": cell.to_dict(), "result": result.to_dict()}
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
+    Used by ``python -m repro report``; unreadable entries are skipped.
+    Reads the content-addressed store only — pre-orchestrator flat-cache
+    files are ignored (see ``repro sweep --help`` for the migration note).
+    """
+    return ResultStore(results_dir, code="").iter_results(scenarios)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -94,12 +87,14 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 
 
 def run_cells(cells: list[ScenarioCell], workers: int = 1) -> list[CellResult]:
-    """Execute ``cells`` (serially or across a process pool), preserving order.
+    """Execute ``cells`` with a *fresh* process pool — the PR 1 baseline.
 
     With ``workers <= 1`` everything runs in-process; otherwise cells are
-    shipped to a pool as dicts and results come back in submission order.
-    Either path produces identical results because every cell carries its
-    own seed and the simulator is deterministic.
+    shipped to a newly-forked pool as dicts and results come back in
+    submission order.  Either path produces identical results because every
+    cell carries its own seed and the simulator is deterministic.  The
+    benchmark suite measures the orchestrator's persistent pool against
+    this runner; sweeps should go through :func:`run_sweep` instead.
     """
     from repro.scenarios.execute import CellResult, run_cell, run_cell_dict
 
@@ -110,81 +105,3 @@ def run_cells(cells: list[ScenarioCell], workers: int = 1) -> list[CellResult]:
     with context.Pool(processes=workers) as pool:
         result_dicts = pool.map(run_cell_dict, [cell.to_dict() for cell in cells])
     return [CellResult.from_dict(data) for data in result_dicts]
-
-
-def run_sweep(spec: ScenarioSpec, workers: int = 1,
-              results_dir: str | Path | None = DEFAULT_RESULTS_DIR,
-              cache: bool = True, force: bool = False) -> SweepResult:
-    """Run every cell of ``spec``'s sweep, using the JSON cache when allowed.
-
-    Args:
-        spec: the scenario to expand and run.
-        workers: worker processes for the uncached cells (1 = serial).
-        results_dir: cache root (``None`` disables persistence entirely).
-        cache: read and write cached cell results under ``results_dir``.
-        force: recompute every cell even when cached (overwrites the cache).
-
-    Returns:
-        A :class:`SweepResult` with cells in deterministic expansion order.
-    """
-    # repro: allow-DET001 — sweep wall-time is reporting only, never behaviour
-    started = time.perf_counter()
-    cells = spec.expand()
-    results: dict[int, CellResult] = {}
-    cached = 0
-    use_cache = cache and results_dir is not None
-    if use_cache and not force:
-        for position, cell in enumerate(cells):
-            hit = _load_cached(cell_cache_path(Path(results_dir), cell))
-            if hit is not None:
-                results[position] = hit
-                cached += 1
-    pending = [(position, cell) for position, cell in enumerate(cells)
-               if position not in results]
-    fresh = run_cells([cell for _, cell in pending], workers=workers)
-    for (position, cell), result in zip(pending, fresh):
-        results[position] = result
-        if use_cache:
-            _store_cached(cell_cache_path(Path(results_dir), cell), cell, result)
-    return SweepResult(
-        scenario=spec.name,
-        cells=[results[position] for position in range(len(cells))],
-        cached_cells=cached,
-        elapsed=time.perf_counter() - started,  # repro: allow-DET001
-        workers=max(1, workers),
-        axes=list(spec.sweep),
-    )
-
-
-def run_scenario(spec: ScenarioSpec, seed: int | None = None, workers: int = 1,
-                 results_dir: str | Path | None = DEFAULT_RESULTS_DIR,
-                 cache: bool = True, force: bool = False) -> SweepResult:
-    """Run a scenario, optionally pinned to a single seed (the CLI ``run`` verb)."""
-    if seed is not None:
-        spec = spec.with_overrides({})
-        spec.seeds = (int(seed),)
-    return run_sweep(spec, workers=workers, results_dir=results_dir, cache=cache,
-                     force=force)
-
-
-def load_cached_results(results_dir: str | Path = DEFAULT_RESULTS_DIR,
-                        scenarios: list[str] | None = None) -> dict[str, list[CellResult]]:
-    """All cached cell results under ``results_dir``, grouped by scenario name.
-
-    Used by ``python -m repro report``; unreadable entries are skipped.
-    """
-    root = Path(results_dir)
-    grouped: dict[str, list[CellResult]] = {}
-    if not root.is_dir():
-        return grouped
-    for directory in sorted(entry for entry in root.iterdir() if entry.is_dir()):
-        if scenarios and directory.name not in scenarios:
-            continue
-        cells = []
-        for path in sorted(directory.glob("cell-*.json")):
-            result = _load_cached(path)
-            if result is not None:
-                cells.append(result)
-        if cells:
-            grouped[directory.name] = cells
-    return grouped

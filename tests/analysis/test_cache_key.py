@@ -1,0 +1,104 @@
+"""CACHE001: cache-key coverage, proven live against the real tree.
+
+Mirrors the CFG001 acceptance pattern: copy the shipped ``src/repro``
+package, sabotage the store's ``config_fingerprint`` into a hand-coded
+field list, inject a fake ``RunConfig`` field, and assert the analyzer
+names the knob that stopped feeding the spec hash (while the unmodified
+tree — whose fingerprint enumerates ``fields(RunConfig)`` — stays clean).
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import repro
+from repro.analysis import run_rules
+
+REPO_SRC = Path(repro.__file__).resolve().parent  # <repo>/src/repro
+RUNNER = "src/repro/experiments/runner.py"
+STORE = "src/repro/experiments/orchestrator/store.py"
+
+#: The enumeration loop CACHE001 exists to protect (must match store.py).
+ENUMERATION = """\
+    for config_field in fields(RunConfig):
+        fingerprint[config_field.name] = _jsonable(getattr(config, config_field.name))
+"""
+
+
+def copy_tree(tmp_path) -> Path:
+    shutil.copytree(REPO_SRC, tmp_path / "src" / "repro",
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    return tmp_path
+
+
+def inject_fake_field(root: Path) -> None:
+    runner = root / RUNNER
+    text = runner.read_text(encoding="utf-8")
+    marker = "    seed: int = 0"
+    assert marker in text  # the injection anchor still exists
+    # Read the field somewhere so CFG001's threading check stays satisfied
+    # in trees where both rules run; CACHE001 is what must catch it here.
+    runner.write_text(text.replace(
+        marker, marker + "\n    fake_knob: int = 0", 1), encoding="utf-8")
+
+
+def hand_code_fingerprint(root: Path) -> None:
+    """Replace the ``fields(RunConfig)`` enumeration with a frozen list."""
+    store = root / STORE
+    text = store.read_text(encoding="utf-8")
+    assert ENUMERATION in text  # the protected loop still looks as expected
+    from dataclasses import fields
+
+    from repro.experiments.runner import RunConfig
+
+    lines = "".join(
+        f'    fingerprint["{f.name}"] = _jsonable(config.{f.name})\n'
+        for f in fields(RunConfig))
+    store.write_text(text.replace(ENUMERATION, lines, 1), encoding="utf-8")
+
+
+def test_shipped_tree_enumerates_fields(tmp_path):
+    root = copy_tree(tmp_path)
+    assert run_rules(root, select=["CACHE001"]) == []
+
+
+def test_enumeration_covers_fake_fields_automatically(tmp_path):
+    # fields(RunConfig) is future-proof: a brand-new knob needs no store edit.
+    root = copy_tree(tmp_path)
+    inject_fake_field(root)
+    assert run_rules(root, select=["CACHE001"]) == []
+
+
+def test_hand_coded_list_covering_every_field_is_accepted(tmp_path):
+    root = copy_tree(tmp_path)
+    hand_code_fingerprint(root)
+    assert run_rules(root, select=["CACHE001"]) == []
+
+
+def test_hand_coded_list_missing_a_field_is_rejected(tmp_path):
+    root = copy_tree(tmp_path)
+    hand_code_fingerprint(root)  # freezes today's field list...
+    inject_fake_field(root)      # ...then a new knob lands
+    findings = run_rules(root, select=["CACHE001"])
+    assert len(findings) == 1
+    assert "fake_knob" in findings[0].message
+    assert "alias" in findings[0].message
+    assert findings[0].path == STORE
+
+
+def test_missing_fingerprint_function_is_rejected(tmp_path):
+    root = copy_tree(tmp_path)
+    store = root / STORE
+    text = store.read_text(encoding="utf-8")
+    store.write_text(text.replace("def config_fingerprint", "def fingerprint_cfg"),
+                     encoding="utf-8")
+    findings = run_rules(root, select=["CACHE001"])
+    assert len(findings) == 1
+    assert "config_fingerprint" in findings[0].message
+
+
+def test_tree_without_a_store_module_skips_the_rule(tmp_path):
+    root = copy_tree(tmp_path)
+    (root / STORE).unlink()
+    assert run_rules(root, select=["CACHE001"]) == []

@@ -65,7 +65,8 @@ def test_sweep_caches_json_and_report_reads_it(tmp_path):
     payload = json.loads(proc.stdout)
     assert payload["scenario"] == "chain_smoke"
     assert payload["cells"]
-    cache_files = list((tmp_path / "results" / "chain_smoke").glob("cell-*.json"))
+    cache_files = list((tmp_path / "results" / "store" / "chain_smoke")
+                       .glob("cell-*.json"))
     assert cache_files
 
     report = repro_cli("report", cwd=tmp_path)

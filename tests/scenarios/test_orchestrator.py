@@ -1,0 +1,242 @@
+"""Sweep orchestrator: cache keys, retry/timeout, journals, resume-after-kill."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import fields
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.orchestrator import (
+    FaultSpec,
+    ResultStore,
+    SweepError,
+    SweepJournal,
+    WorkerPool,
+    code_version,
+    config_fingerprint,
+    run_sweep,
+    spec_hash,
+)
+from repro.experiments.orchestrator.store import CellKey
+from repro.experiments.runner import RunConfig
+from repro.scenarios import ScenarioSpec, TopologySpec, WorkloadSpec, get_preset
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def tiny_sweep() -> ScenarioSpec:
+    """A sub-second two-cell sweep on a lossy chain."""
+    return ScenarioSpec(
+        name="tiny_sweep",
+        topology=TopologySpec("chain", {"hops": 3, "link_delivery": 0.7,
+                                        "skip_delivery": 0.2}),
+        workload=WorkloadSpec("explicit", {"pairs": [[0, 3]]}),
+        protocols=("MORE", "Srcr"),
+        run={"total_packets": 32, "batch_size": 8, "packet_size": 256,
+             "coding_payload_size": 16},
+        seeds=(1,),
+        sweep={"run.batch_size": (8, 16)},
+    )
+
+
+@pytest.fixture
+def quick_cells() -> ScenarioSpec:
+    """Four fast one-protocol cells for pool fault-injection tests."""
+    spec = get_preset("chain_smoke")
+    spec = spec.with_overrides({"run.total_packets": 16})
+    spec.seeds = (1, 2, 3, 4)
+    return spec
+
+
+class TestCacheKeys:
+    def test_fingerprint_covers_every_runconfig_field(self):
+        fingerprint = config_fingerprint(RunConfig())
+        assert set(fingerprint) == {f.name for f in fields(RunConfig)}
+
+    def test_fingerprint_is_json_stable(self):
+        # refresh_period defaults to inf, which JSON cannot carry natively.
+        fingerprint = config_fingerprint(RunConfig())
+        assert json.loads(json.dumps(fingerprint)) == fingerprint
+
+    def test_spec_hash_stable_across_json_round_trip(self, tiny_sweep):
+        respec = ScenarioSpec.from_json(tiny_sweep.to_json())
+        for original, reloaded in zip(tiny_sweep.expand(), respec.expand()):
+            assert spec_hash(original) == spec_hash(reloaded)
+
+    def test_spec_hash_changes_with_any_config_knob(self, tiny_sweep):
+        baseline = spec_hash(tiny_sweep.expand()[0])
+        # A knob the scenario's own run dict never mentions still feeds the
+        # hash, because the *resolved* config is fingerprinted.
+        changed = tiny_sweep.with_overrides({"run.estimation_exponent": 3.5})
+        assert spec_hash(changed.expand()[0]) != baseline
+
+    def test_code_version_tracks_source_content(self, tmp_path):
+        tree = tmp_path / "pkg"
+        tree.mkdir()
+        (tree / "a.py").write_text("x = 1\n")
+        first = code_version(tree)
+        assert code_version(tree) == first
+        (tree / "a.py").write_text("x = 2\n")
+        assert code_version(tree) != first
+
+    def test_code_version_miss_forces_recompute(self, tiny_sweep, tmp_path):
+        store = ResultStore(tmp_path)
+        run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        cell = tiny_sweep.expand()[0]
+        hit = store.load(store.key_for(cell))
+        assert hit is not None
+        stale = CellKey(scenario=cell.scenario.name, spec_hash=spec_hash(cell),
+                        seed=cell.seed, code_version="deadbeef")
+        assert ResultStore(tmp_path, code="deadbeef").load(stale) is None
+
+    def test_byte_identical_respec_hits(self, tiny_sweep, tmp_path):
+        run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        respec = ScenarioSpec.from_json(tiny_sweep.to_json())
+        again = run_sweep(respec, workers=1, results_dir=tmp_path)
+        assert again.cached_cells == len(again.cells)
+        assert again.computed_cells == 0
+
+    def test_legacy_flat_cache_is_never_read(self, tiny_sweep, tmp_path):
+        first = run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        # Plant a PR 1-style flat cache entry; the store must ignore it.
+        legacy_dir = tmp_path / "tiny_sweep"
+        legacy_dir.mkdir()
+        legacy = legacy_dir / "cell-0123456789abcdef.json"
+        legacy.write_text(json.dumps({"cell": {}, "result": first.cells[0].to_dict()}))
+        store = ResultStore(tmp_path, code="")
+        assert store.legacy_cell_files() == [legacy]
+        # The report loader only walks the store, so the planted file is
+        # invisible; both real cells still load from under results/store/.
+        assert len(store.iter_results(["tiny_sweep"])["tiny_sweep"]) == 2
+        again = run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        assert again.cached_cells == len(again.cells)  # hits come from the store
+
+
+class TestRetryTimeout:
+    def test_crashed_worker_is_replaced_and_cell_retried(self, quick_cells, tmp_path):
+        reference = run_sweep(quick_cells, workers=1, results_dir=None)
+        fault = FaultSpec(kind="crash", positions=(1,),
+                          marker=str(tmp_path / "crash.marker"))
+        pool = WorkerPool(2, fault=fault)
+        try:
+            result = run_sweep(quick_cells, workers=2, results_dir=None,
+                               pool=pool, cell_timeout=10.0)
+        finally:
+            pool.shutdown()
+        assert (tmp_path / "crash.marker").exists()  # the fault really fired
+        assert [c.to_dict() for c in result.cells] \
+            == [c.to_dict() for c in reference.cells]
+
+    def test_hung_worker_is_killed_and_cell_retried(self, quick_cells, tmp_path):
+        reference = run_sweep(quick_cells, workers=1, results_dir=None)
+        fault = FaultSpec(kind="hang", positions=(2,),
+                          marker=str(tmp_path / "hang.marker"))
+        pool = WorkerPool(2, fault=fault)
+        try:
+            result = run_sweep(quick_cells, workers=2, results_dir=None,
+                               pool=pool, cell_timeout=1.5)
+        finally:
+            pool.shutdown()
+        assert (tmp_path / "hang.marker").exists()
+        assert [c.to_dict() for c in result.cells] \
+            == [c.to_dict() for c in reference.cells]
+
+    def test_retries_exhausted_raises_sweep_error(self, quick_cells, tmp_path):
+        fault = FaultSpec(kind="crash", positions=(0,),
+                          marker=str(tmp_path / "always.marker"), once=False)
+        pool = WorkerPool(2, fault=fault)
+        try:
+            with pytest.raises(SweepError, match="cell 0"):
+                run_sweep(quick_cells, workers=2, results_dir=None,
+                          pool=pool, cell_timeout=10.0, retries=1)
+        finally:
+            pool.shutdown()
+
+
+class TestJournal:
+    def test_journal_records_lifecycle(self, tiny_sweep, tmp_path):
+        run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        store = ResultStore(tmp_path)
+        journal = SweepJournal(store, tiny_sweep)
+        records = journal.records()
+        events = [record["event"] for record in records]
+        assert events[0] == "start"
+        assert events[-1] == "finish"
+        assert events.count("cell") == 2
+        assert records[0]["cells"] == 2
+        assert records[-1] == {"event": "finish", "computed": 2, "cached": 0}
+
+    def test_journal_tolerates_torn_tail(self, tiny_sweep, tmp_path):
+        run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        journal = SweepJournal(ResultStore(tmp_path), tiny_sweep)
+        with journal.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"event": "cel')  # SIGKILL mid-append
+        assert [r["event"] for r in journal.records()][-1] == "finish"
+
+    def test_resume_journal_counts_cached_cells(self, tiny_sweep, tmp_path):
+        run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
+        journal = SweepJournal(ResultStore(tmp_path), tiny_sweep)
+        starts = [r for r in journal.records() if r["event"] == "start"]
+        assert [record["cached"] for record in starts] == [0, 2]
+
+
+def _sweep_command(extra: tuple[str, ...] = ()) -> list[str]:
+    return [sys.executable, "-m", "repro", "sweep", "--preset", "chain_smoke",
+            "--set", "run.total_packets=16", "--seeds", "1,2,3,4,5,6,7,8",
+            "--workers", "2", "--json", *extra]
+
+
+def _cli_env() -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestResumeAfterKill:
+    def test_sigkill_resume_runs_only_missing_cells(self, tmp_path):
+        workdir = tmp_path / "killed"
+        workdir.mkdir()
+        store_dir = workdir / "results" / "store" / "chain_smoke"
+
+        process = subprocess.Popen(_sweep_command(), cwd=workdir,
+                                   env=_cli_env(),
+                                   stdout=subprocess.DEVNULL,
+                                   stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if store_dir.is_dir() and list(store_dir.glob("cell-*.json")):
+                    break
+                if process.poll() is not None:
+                    break  # finished before we could kill it; still a resume
+                time.sleep(0.01)
+            if process.poll() is None:
+                process.send_signal(signal.SIGKILL)
+        finally:
+            process.wait(timeout=60)
+        survivors = len(list(store_dir.glob("cell-*.json")))
+        assert survivors >= 1  # something completed before the kill
+
+        resumed = subprocess.run(_sweep_command(), cwd=workdir, env=_cli_env(),
+                                 capture_output=True, text=True, timeout=300)
+        assert resumed.returncode == 0, resumed.stderr
+        payload = json.loads(resumed.stdout)
+        assert payload["cached_cells"] >= survivors
+        assert payload["cached_cells"] + payload["computed_cells"] == 8
+
+        # The resumed aggregate is bit-identical to an uninterrupted run.
+        cleandir = tmp_path / "clean"
+        cleandir.mkdir()
+        clean = subprocess.run(_sweep_command(), cwd=cleandir, env=_cli_env(),
+                               capture_output=True, text=True, timeout=300)
+        assert clean.returncode == 0, clean.stderr
+        assert json.loads(clean.stdout)["cells"] == payload["cells"]

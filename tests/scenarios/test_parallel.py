@@ -7,8 +7,8 @@ import json
 import pytest
 
 from repro.experiments.figures import figure_4_2
+from repro.experiments.orchestrator.store import ResultStore
 from repro.experiments.parallel import (
-    cell_cache_path,
     load_cached_results,
     run_scenario,
     run_sweep,
@@ -86,17 +86,20 @@ class TestCaching:
 
     def test_cache_layout_and_report_loader(self, tiny_sweep, tmp_path):
         run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
-        files = sorted((tmp_path / "tiny_sweep").glob("cell-*.json"))
+        files = sorted((tmp_path / "store" / "tiny_sweep").glob("cell-*.json"))
         assert len(files) == 2
         payload = json.loads(files[0].read_text())
-        assert set(payload) == {"cell", "result"}
+        assert set(payload) == {"key", "cell", "result"}
+        assert set(payload["key"]) == {"scenario", "spec_hash", "seed",
+                                       "code_version"}
         grouped = load_cached_results(tmp_path)
         assert set(grouped) == {"tiny_sweep"}
         assert len(grouped["tiny_sweep"]) == 2
 
     def test_corrupt_cache_entry_is_recomputed(self, tiny_sweep, tmp_path):
         run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
-        victim = cell_cache_path(tmp_path, tiny_sweep.expand()[0])
+        store = ResultStore(tmp_path)
+        victim = store.path_for(store.key_for(tiny_sweep.expand()[0]))
         victim.write_text("{not json")
         again = run_sweep(tiny_sweep, workers=1, results_dir=tmp_path)
         assert again.cached_cells == len(again.cells) - 1
