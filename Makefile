@@ -6,7 +6,7 @@ WORKERS ?= 4
 ENV      = PYTHONPATH=src
 
 .PHONY: check lint analyze test test-engine test-coding bench bench-baseline \
-        profile docs-check sweep-smoke figures examples clean
+        profile docs-check sweep-smoke fault-smoke figures examples clean
 
 # The pre-merge gate: lint, the static invariant analyzer, the engine
 # differential tests (fail fast on a hot-path regression), then the full
@@ -63,13 +63,19 @@ profile:
 docs-check:
 	$(ENV) $(PYTHON) scripts/docs_check.py README.md docs/paper-map.md \
 		docs/scenarios.md docs/performance.md docs/invariants.md \
-		docs/sweeps.md
+		docs/sweeps.md docs/faults.md
 
 # End-to-end sweep-service smoke: a multi-worker CLI sweep SIGKILLed
 # mid-flight must resume computing only the missing cells and aggregate
 # bit-identically to an uninterrupted run.
 sweep-smoke:
 	$(ENV) $(PYTHON) scripts/sweep_smoke.py
+
+# End-to-end fault-injection smoke through the real CLI: all-relays-crashed
+# runs abort with structured reasons (never hang), the monitor's stall
+# diagnosis is loud, and crash/recover sweeps stay parallel == serial.
+fault-smoke:
+	$(ENV) $(PYTHON) scripts/fault_smoke.py
 
 # Run (and cache under results/) every paper-figure scenario preset.
 figures:

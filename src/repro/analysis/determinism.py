@@ -1,5 +1,6 @@
-"""Determinism rules: DET001 (seeded randomness, no wall clock) and DET002
-(counter-based purity of channel/mobility realisations).
+"""Determinism rules: DET001 (seeded randomness, no wall clock), DET002
+(counter-based purity of channel/mobility realisations) and DET003 (the
+same purity contract for fault processes).
 
 The paper's structure-vs-randomness claim is only reproducible because
 every random draw in this codebase is a pure function of ``(seed,
@@ -132,8 +133,11 @@ class CounterBasedPurity(Rule):
         "numpy.random.Philox", "numpy.random.SFC64",
     )
 
+    def _modules(self, config: AnalysisConfig) -> tuple[str, ...]:
+        return config.purity_modules
+
     def check(self, project: Project, config: AnalysisConfig) -> Iterable[Finding]:
-        for relative in config.purity_modules:
+        for relative in self._modules(config):
             source = project.get(relative)
             if source is None or source.tree is None:
                 continue
@@ -179,3 +183,24 @@ class CounterBasedPurity(Rule):
             if dotted is not None and dotted.endswith(".spawn"):
                 return dotted
         return None
+
+
+@register
+class FaultProcessPurity(CounterBasedPurity):
+    """DET003: fault processes obey the same counter-based purity contract.
+
+    Crash/recover schedules must be pure functions of ``(seed, node,
+    counter)`` for the same reason channel realisations must (DET002): a
+    stored ``Generator`` would make the fault timeline depend on query
+    order, so a parallel sweep cell would crash different nodes than the
+    serial run — the exact serial/parallel divergence the fault
+    differential tests pin down.  Same detector, different module list
+    (:attr:`AnalysisConfig.fault_modules`).
+    """
+
+    name = "DET003"
+    description = ("fault-process classes must not hold or advance a "
+                   "mutable Generator between queries")
+
+    def _modules(self, config: AnalysisConfig) -> tuple[str, ...]:
+        return config.fault_modules

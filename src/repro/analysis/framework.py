@@ -160,6 +160,12 @@ class AnalysisConfig:
         "src/repro/sim/channels.py",
         "src/repro/topology/mobility.py",
     )
+    #: Fault-process modules held to the same counter-based purity (DET003):
+    #: a fault realisation must be a pure function of (seed, node, counter)
+    #: so crash schedules are identical across serial/parallel execution.
+    fault_modules: tuple[str, ...] = (
+        "src/repro/sim/faults.py",
+    )
     #: (path, reference class, path, variant class) engine pairs: every
     #: public method/property of the reference must exist on the variant
     #: with a matching signature (extra trailing defaulted params allowed).

@@ -17,7 +17,10 @@ e.g. from ``show``).  ``--set path=value`` applies one dotted-path override
 link-state staleness).  ``--channel KIND`` swaps the channel model
 (``static``, ``gilbert_elliott``, ``distance_fading``, ``trace``) and
 ``--mobility KIND`` the dynamic-topology model (``none``, ``link_churn``,
-``random_walk``, ``random_waypoint``).  Results land in the
+``random_walk``, ``random_waypoint``); ``--faults KIND`` injects node
+failures (``crash_recover``, ``scheduled``, ``ack_blackout``,
+``control_silence``) and ``--monitor`` arms the runtime liveness monitor
+(see ``docs/faults.md``).  Results land in the
 content-addressed store under ``results/store/<scenario>/`` keyed by
 ``(spec-hash, seed, code-version)``, so repeated invocations only simulate
 what changed — including after a kill: re-running the same sweep command
@@ -82,6 +85,10 @@ def _load_spec(args: argparse.Namespace) -> ScenarioSpec:
         spec = spec.with_overrides({"channel.kind": args.channel})
     if getattr(args, "mobility", None):
         spec = spec.with_overrides({"mobility.kind": args.mobility})
+    if getattr(args, "faults", None):
+        spec = spec.with_overrides({"faults.kind": args.faults})
+    if getattr(args, "monitor", False):
+        spec = spec.with_overrides({"run.monitor": True})
     for assignment in args.set or []:
         path, value = _parse_assignment(assignment)
         spec = spec.with_overrides({path: _parse_value(value)})
@@ -130,6 +137,16 @@ def _add_spec_arguments(parser: argparse.ArgumentParser, sweep: bool) -> None:
                              "--set mobility.<param>=value; pair with "
                              "--set run.refresh_period=SECONDS for an "
                              "online control plane)")
+    parser.add_argument("--faults", metavar="KIND",
+                        help="fault-injection process: none, ack_blackout, "
+                             "control_silence, crash_recover or scheduled "
+                             "(tune with --set faults.<param>=value; pair "
+                             "with --set run.progress_timeout=SECONDS for "
+                             "structured aborts instead of hangs)")
+    parser.add_argument("--monitor", action="store_true",
+                        help="enable the runtime liveness monitor "
+                             "(run.monitor=true): stalls raise a one-screen "
+                             "StallDiagnosis instead of hanging")
     parser.add_argument("--json", action="store_true",
                         help="print the full result as JSON instead of a report")
     if sweep:
@@ -256,6 +273,8 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("--set", action="append", metavar="PATH=VALUE")
     show.add_argument("--channel", metavar="KIND")
     show.add_argument("--mobility", metavar="KIND")
+    show.add_argument("--faults", metavar="KIND")
+    show.add_argument("--monitor", action="store_true")
     show.set_defaults(func=_command_show, axis=None, seeds=None)
 
     run = commands.add_parser("run", help="run one scenario (serial by default)")

@@ -36,7 +36,7 @@ from repro.experiments.orchestrator.store import (
     spec_hash,
 )
 from repro.experiments.orchestrator.workers import (
-    FaultSpec,
+    WorkerFaultSpec,
     WorkerPool,
     shared_pool,
     shutdown_shared_pools,
@@ -45,7 +45,7 @@ from repro.experiments.orchestrator.workers import (
 __all__ = [
     "DEFAULT_RESULTS_DIR",
     "CellKey",
-    "FaultSpec",
+    "WorkerFaultSpec",
     "ProgressPrinter",
     "ResultStore",
     "SweepError",

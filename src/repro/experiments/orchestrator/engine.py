@@ -260,6 +260,20 @@ def _run_pooled(cells: list[ScenarioCell], pending: list[int], complete: Any,
         pool.workers[index].submit(
             task_id, [(position, cell_dicts[position]) for position in batch])
 
+    def diagnosis_note(position: int) -> str:
+        """What liveness forensics exist for an externally-killed cell.
+
+        A timed-out or crashed worker dies from the outside, so the only
+        in-run forensics are whatever :class:`~repro.sim.monitor.SimMonitor`
+        would have raised — and that reaches us as an in-worker exception
+        (the MSG_ERROR path), never here.  Spell out which case this is so
+        a timeout line tells the user how to get a StallDiagnosis next time.
+        """
+        if cells[position].scenario.run.get("monitor"):
+            return ("monitor enabled but no StallDiagnosis surfaced before "
+                    "the kill; lower run.monitor_interval")
+        return "no diagnosis: monitor disabled (rerun with run.monitor=true)"
+
     def recycle(index: int, reason: str) -> None:
         """Kill + replace worker ``index``; requeue its unfinished cells."""
         stranded = sorted(outstanding[index])
@@ -270,8 +284,8 @@ def _run_pooled(cells: list[ScenarioCell], pending: list[int], complete: Any,
             if attempts[position] > retries:
                 raise SweepError(
                     f"cell {position} failed after {attempts[position]} attempt(s): "
-                    f"worker {reason}")
-            printer.retry(reason, position)
+                    f"worker {reason}; {diagnosis_note(position)}")
+            printer.retry(f"{reason}; {diagnosis_note(position)}", position)
             queue.append(position)
         pool.replace(index)
         last_activity[index] = time.monotonic()  # repro: allow-DET001 — watchdog

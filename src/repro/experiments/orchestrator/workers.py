@@ -23,7 +23,7 @@ Workers are daemons: an orchestrator killed with SIGKILL takes its pool
 down with it, which is exactly what the resume path wants (the store holds
 every completed cell; nothing else survives, nothing else needs to).
 
-:class:`FaultSpec` is deliberate test instrumentation — the retry/timeout
+:class:`WorkerFaultSpec` is deliberate test instrumentation — the retry/timeout
 tests inject a crash or a hang at a known cell position without patching
 worker internals.  It is inert unless explicitly passed to the pool.
 """
@@ -47,7 +47,7 @@ MSG_IDLE = "idle"
 
 
 @dataclass(frozen=True)
-class FaultSpec:
+class WorkerFaultSpec:
     """Test-only fault injection: misbehave at selected cell positions.
 
     ``kind`` is ``"crash"`` (``os._exit`` before running the cell) or
@@ -80,7 +80,7 @@ class FaultSpec:
 
 
 def _worker_main(task_queue: Any, result_queue: Any,
-                 fault: FaultSpec | None) -> None:
+                 fault: WorkerFaultSpec | None) -> None:
     """One worker's lifetime: import once, then run cell batches forever."""
     import traceback
 
@@ -114,7 +114,7 @@ class Worker:
     """One persistent worker process plus its private task queue."""
 
     def __init__(self, context: multiprocessing.context.BaseContext,
-                 result_queue: Any, fault: FaultSpec | None) -> None:
+                 result_queue: Any, fault: WorkerFaultSpec | None) -> None:
         self._context = context
         self._result_queue = result_queue
         self._fault = fault
@@ -157,7 +157,7 @@ class Worker:
 class WorkerPool:
     """A fixed-size set of persistent workers sharing one result queue."""
 
-    def __init__(self, workers: int, fault: FaultSpec | None = None) -> None:
+    def __init__(self, workers: int, fault: WorkerFaultSpec | None = None) -> None:
         if workers < 1:
             raise ValueError("a worker pool needs at least one worker")
         self.size = workers

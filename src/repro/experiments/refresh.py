@@ -62,6 +62,31 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.experiments.runner import RunConfig
     from repro.sim.simulator import Simulator
 
+#: Probe-noise stream tag for supervisor-initiated re-plans, so recovery
+#: replans never consume the periodic refresher's ``(seed, round)`` stream.
+_SUPERVISOR_STREAM = 0x5FA17
+
+
+def mask_dead_nodes(topology: Topology, dead: frozenset[int]) -> Topology:
+    """The control plane's view of a topology with ``dead`` nodes in it.
+
+    A crashed (or control-silent) node answers no probes, so every link
+    into or out of it measures as zero — plans computed over the masked
+    view route around the corpse.  Returns ``topology`` itself when
+    nothing is dead.
+    """
+    if not dead:
+        return topology
+    delivery = topology.delivery_matrix()
+    indices = sorted(dead)
+    delivery[indices, :] = 0.0
+    delivery[:, indices] = 0.0
+    positions = [node.position for node in topology.nodes]
+    if not any(positions):
+        positions = None
+    return Topology(delivery, positions=positions,
+                    names=[node.name for node in topology.nodes])
+
 
 class LinkStateRefresher:
     """Recurring mid-flow control-plane rebuild for a set of flow handles.
@@ -102,9 +127,15 @@ class LinkStateRefresher:
         (:meth:`RunConfig.control_view` over the medium's current
         snapshot); each round uses a fresh probe-noise stream seeded by
         ``(seed, round)`` so estimates are independent samples yet replay
-        identically run to run.
+        identically run to run.  Crashed and control-silent nodes answer
+        no probes, so the view masks them out and plans route around them
+        (:func:`mask_dead_nodes`).
         """
         true_topology = self.sim.medium.effective_topology(self.sim.now)
+        faults = self.sim.faults
+        if faults is not None:
+            true_topology = mask_dead_nodes(
+                true_topology, faults.control_dead(self.sim.now))
         return self.config.control_view(true_topology,
                                         seed=(self.config.seed, self.refreshes))
 
@@ -119,6 +150,114 @@ class LinkStateRefresher:
                 # stale plan, retry next round (what a real control plane
                 # does when probes stop returning).
                 self.skipped_flows += 1
+        self.sim.schedule(self.period, self._tick)
+
+
+class FlowSupervisor:
+    """Per-flow progress watchdog: bounded re-plans, then a structured abort.
+
+    The graceful-degradation half of the fault story.  Every
+    ``progress_timeout`` simulated seconds each unfinished flow's delivery
+    counters are compared against the previous check; a flow that moved
+    nothing for a whole period is first **re-planned** over the
+    fault-masked control view (up to :data:`MAX_REPLANS` times — MORE
+    repairs its forwarder set and credits, ExOR re-ranks, Srcr detours)
+    and, once re-plans are exhausted, **aborted** via
+    :meth:`~repro.sim.trace.StatsCollector.record_abort` — a structured
+    ``FlowAborted`` outcome that terminates the run instead of letting a
+    crashed forwarder set spin it to ``max_duration``.
+
+    ``progress_timeout=inf`` (the default) schedules nothing at all:
+    unsupervised runs are bit-identical to a build without this class.
+
+    Attributes:
+        total_replans: recovery re-plans issued across all flows.
+        aborts: flows given up on.
+    """
+
+    #: Re-plan attempts per flow before the structured abort.
+    MAX_REPLANS = 3
+
+    def __init__(self, sim: "Simulator", handles: list,
+                 config: "RunConfig") -> None:
+        self.sim = sim
+        self.handles = list(handles)
+        self.config = config
+        self.period = float(config.progress_timeout)
+        self.total_replans = 0
+        self.aborts = 0
+        self._replans: dict[int, int] = {}
+        self._fingerprints: dict[int, tuple[int, int, int]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """True if a finite timeout and at least one flow make it real."""
+        return bool(self.handles) and math.isfinite(self.period) \
+            and self.period > 0
+
+    def install(self) -> "FlowSupervisor":
+        """Schedule the first check; a no-op for ``progress_timeout=inf``."""
+        if self.enabled:
+            self.sim.schedule(self.period, self._tick)
+        return self
+
+    def control_view(self) -> Topology:
+        """Fault-masked link estimates for a recovery re-plan.
+
+        Draws from its own ``(seed, stream, re-plan index)`` probe-noise
+        stream so recovery never perturbs the periodic refresher's.
+        """
+        sim = self.sim
+        topology = sim.medium.effective_topology(sim.now)
+        faults = sim.faults
+        if faults is not None:
+            topology = mask_dead_nodes(topology,
+                                       faults.control_dead(sim.now))
+        return self.config.control_view(
+            topology,
+            seed=(self.config.seed, _SUPERVISOR_STREAM, self.total_replans))
+
+    def _tick(self) -> None:
+        sim = self.sim
+        stats = sim.stats
+        if stats.all_flows_complete():
+            return  # terminal: every flow finished, stop rescheduling
+        now = sim.events.now
+        control: Topology | None = None
+        for handle in self.handles:
+            record = stats.flows[handle.flow_id]
+            if record.finished:
+                continue
+            fingerprint = (record.delivered_packets,
+                           record.delivered_batches,
+                           record.duplicate_packets)
+            if fingerprint != self._fingerprints.get(handle.flow_id):
+                self._fingerprints[handle.flow_id] = fingerprint
+                continue
+            replans = self._replans.get(handle.flow_id, 0)
+            if replans < self.MAX_REPLANS:
+                self._replans[handle.flow_id] = replans + 1
+                self.total_replans += 1
+                if control is None:
+                    control = self.control_view()
+                try:
+                    refresh_flow(sim, handle, control, self.config)
+                except ValueError:
+                    # Endpoints unreachable in the masked view (the crash
+                    # partitioned the mesh, or an endpoint is down): keep
+                    # the stale plan; retry or abort at the next check.
+                    pass
+                sim.trigger_node(record.source)
+            else:
+                self.aborts += 1
+                faults = sim.faults
+                down = sorted(faults.down_nodes()) if faults is not None \
+                    else []
+                stats.record_abort(
+                    handle.flow_id, now,
+                    reason=(f"no progress for {self.period:g}s after "
+                            f"{replans} recovery re-plan(s); down nodes "
+                            f"{down}"))
         self.sim.schedule(self.period, self._tick)
 
 

@@ -14,11 +14,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.coding.buffer import ENGINES as CODING_ENGINES
-from repro.experiments.refresh import LinkStateRefresher
+from repro.experiments.refresh import FlowSupervisor, LinkStateRefresher
 from repro.protocols.exor import setup_exor_flow
 from repro.protocols.more import setup_more_flow
 from repro.protocols.srcr import setup_srcr_flow
 from repro.sim.channels import ChannelSpec
+from repro.sim.faults import FaultSpec
 from repro.sim.radio import RATE_5_5MBPS, PhyConfig, SimConfig
 from repro.sim.simulator import Simulator
 from repro.topology.estimation import (
@@ -46,6 +47,11 @@ class FlowResult:
     total_packets: int
     completed: bool
     data_transmissions: int
+    #: True when the flow ended as a structured ``FlowAborted`` outcome
+    #: (progress timeout under faults) instead of completing or timing out
+    #: against ``max_duration``; ``abort_reason`` is the supervisor's why.
+    aborted: bool = False
+    abort_reason: str = ""
 
     @property
     def throughput(self) -> float:
@@ -124,6 +130,24 @@ class RunConfig:
     #: density (see :func:`repro.metrics.credits.cap_forwarders`).
     #: ``None`` keeps the full pruned plan.
     max_relays: int | None = None
+    #: Fault-process spec (node crash/recover, ACK blackouts, control
+    #: silence) as a :class:`~repro.sim.faults.FaultSpec` dict (``None`` =
+    #: fault-free, today's behaviour bit for bit; see
+    #: :mod:`repro.sim.faults`).
+    faults: dict[str, Any] | None = field(default=None)
+    #: Attach the :class:`~repro.sim.monitor.SimMonitor` liveness checker:
+    #: invariant violations raise a structured
+    #: :class:`~repro.sim.monitor.StallDiagnosis` instead of hanging.
+    monitor: bool = False
+    #: Monitor check period in simulated seconds.
+    monitor_interval: float = 1.0
+    #: Seconds a flow may go without progress before the
+    #: :class:`~repro.experiments.refresh.FlowSupervisor` re-plans it around
+    #: crashed nodes and, after bounded retries, aborts it as a structured
+    #: ``FlowAborted`` outcome.  ``inf`` (the default) supervises nothing —
+    #: not even an event is scheduled.  Accepts the string ``"inf"`` so the
+    #: axis stays plain JSON.
+    progress_timeout: float = math.inf
 
     def __post_init__(self) -> None:
         self.refresh_period = float(self.refresh_period)
@@ -134,6 +158,12 @@ class RunConfig:
                 f"unknown decode_engine {self.decode_engine!r}; expected "
                 f"'auto' or one of {CODING_ENGINES}"
             )
+        self.progress_timeout = float(self.progress_timeout)
+        if self.progress_timeout <= 0:
+            raise ValueError("progress_timeout must be positive (inf = never)")
+        self.monitor_interval = float(self.monitor_interval)
+        if self.monitor_interval <= 0:
+            raise ValueError("monitor_interval must be positive")
 
     def channel_spec(self) -> ChannelSpec | None:
         """The channel-model spec for the simulator (``None`` = static)."""
@@ -148,6 +178,13 @@ class RunConfig:
             return None
         spec = MobilitySpec.from_dict(self.mobility)
         return None if spec.is_static else spec
+
+    def faults_spec(self) -> FaultSpec | None:
+        """The fault-process spec for the simulator (``None`` = fault-free)."""
+        if self.faults is None:
+            return None
+        spec = FaultSpec.from_dict(self.faults)
+        return None if spec.is_none else spec
 
     def control_view(self, topology: Topology,
                      seed: int | tuple[int, ...] | None = None) -> Topology:
@@ -173,7 +210,10 @@ def _make_simulator(topology: Topology, config: RunConfig, bitrate: int | None =
     sim_config = SimConfig(phy=phy, seed=config.seed, max_duration=config.max_duration,
                            channel_model=config.channel_spec(),
                            mobility=config.mobility_spec(),
-                           engine=config.engine)
+                           engine=config.engine,
+                           faults=config.faults_spec(),
+                           monitor=config.monitor,
+                           monitor_interval=config.monitor_interval)
     return Simulator(topology, sim_config)
 
 
@@ -240,6 +280,11 @@ def run_flows(topology: Topology, protocol: str, pairs: list[tuple[int, int]],
     # (possibly moved) topology mid-flow and rebuild every flow's plan.
     # refresh_period=inf schedules nothing — bit-identical static plans.
     LinkStateRefresher(sim, handles, run_config).install()
+    # Graceful degradation under faults: with a finite progress_timeout, a
+    # stalled flow is re-planned around crashed nodes a bounded number of
+    # times and then aborted as a structured outcome (never an endless run).
+    # progress_timeout=inf schedules nothing — bit-identical to before.
+    FlowSupervisor(sim, handles, run_config).install()
     sim.run(until=run_config.max_duration,
             stop_condition=sim.stats.all_flows_complete)
     results = []
@@ -248,6 +293,10 @@ def run_flows(topology: Topology, protocol: str, pairs: list[tuple[int, int]],
         if record.completed:
             throughput = record.throughput_pkts()
             duration = record.duration or 0.0
+        elif record.aborted:
+            duration = max((record.end_time or sim.now) - record.start_time,
+                           1e-9)
+            throughput = record.delivered_packets / duration
         else:
             duration = max(sim.now - record.start_time, 1e-9)
             throughput = record.delivered_packets / duration
@@ -261,6 +310,8 @@ def run_flows(topology: Topology, protocol: str, pairs: list[tuple[int, int]],
             total_packets=record.total_packets,
             completed=record.completed,
             data_transmissions=sim.stats.total_data_transmissions(),
+            aborted=record.aborted,
+            abort_reason=record.abort_reason,
         ))
     return results
 

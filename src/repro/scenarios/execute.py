@@ -85,30 +85,44 @@ def _resolve_protocol(token: str, base: RunConfig) -> tuple[str, RunConfig]:
     return token, base
 
 
+def _abort_notes(results) -> list[str]:
+    """Human-readable notes for every aborted flow in ``results``."""
+    return [f"flow {result.source}->{result.destination}: {result.abort_reason}"
+            for result in results if result.aborted]
+
+
 def _throughput_cell(cell: ScenarioCell) -> CellResult:
     spec = cell.scenario
     topology = build_topology(spec.topology)
     pairs = build_pairs(spec.workload, topology, cell.seed)
     base = spec.run_config(cell.seed)
     series: dict[str, list[float]] = {}
+    aborted: dict[str, list[str]] = {}
     for token in spec.protocols:
         protocol, config = _resolve_protocol(token, base)
         results = [run_single_flow(topology, protocol, source, destination, config=config)
                    for source, destination in pairs]
         series[token] = [result.throughput_pkts for result in results]
+        notes = _abort_notes(results)
+        if notes:
+            aborted[token] = notes
     summary: dict[str, float] = {}
     for token, values in series.items():
         summary[f"{token}_median"] = summarize(values).median
+    for token, notes in aborted.items():
+        summary[f"{token}_aborted"] = float(len(notes))
     if "MORE" in series:
         for token, values in series.items():
             if token != "MORE":
                 slug = token.lower().replace("/", "_")
                 summary[f"more_over_{slug}_median_gain"] = median_gain(series["MORE"],
                                                                        values)
+    meta: dict[str, Any] = {"pairs": [list(pair) for pair in pairs]}
+    if aborted:
+        meta["aborted_flows"] = aborted
     return CellResult(scenario=spec.name, mode=spec.mode, seed=cell.seed,
                       axes=dict(cell.axes), key=cell.key(), series=series,
-                      summary=summary,
-                      meta={"pairs": [list(pair) for pair in pairs]})
+                      summary=summary, meta=meta)
 
 
 def _multiflow_cell(cell: ScenarioCell) -> CellResult:
@@ -117,21 +131,30 @@ def _multiflow_cell(cell: ScenarioCell) -> CellResult:
     flow_sets = build_flow_sets(spec.workload, topology, cell.seed)
     config = spec.run_config(cell.seed)
     series: dict[str, list[float]] = {}
+    aborted: dict[str, list[str]] = {}
     for token in spec.protocols:
         protocol, protocol_config = _resolve_protocol(token, config)
         throughputs: list[float] = []
+        notes: list[str] = []
         for flow_set in flow_sets:
             results = run_flows(topology, protocol, flow_set, config=protocol_config)
             throughputs.extend(result.throughput_pkts for result in results)
+            notes.extend(_abort_notes(results))
         series[token] = throughputs
+        if notes:
+            aborted[token] = notes
     summary = {f"{token}_mean": summarize(values).mean for token, values in series.items()}
+    for token, notes in aborted.items():
+        summary[f"{token}_aborted"] = float(len(notes))
     flow_count = len(flow_sets[0]) if flow_sets else 0
+    meta: dict[str, Any] = {"flow_count": flow_count, "set_count": len(flow_sets),
+                            "flow_sets": [[list(pair) for pair in flow_set]
+                                          for flow_set in flow_sets]}
+    if aborted:
+        meta["aborted_flows"] = aborted
     return CellResult(scenario=spec.name, mode=spec.mode, seed=cell.seed,
                       axes=dict(cell.axes), key=cell.key(), series=series,
-                      summary=summary,
-                      meta={"flow_count": flow_count, "set_count": len(flow_sets),
-                            "flow_sets": [[list(pair) for pair in flow_set]
-                                          for flow_set in flow_sets]})
+                      summary=summary, meta=meta)
 
 
 def _gap_cell(cell: ScenarioCell) -> CellResult:

@@ -15,6 +15,7 @@ import copy
 
 from repro.scenarios.spec import ScenarioSpec, TopologySpec, WorkloadSpec
 from repro.sim.channels import ChannelSpec
+from repro.sim.faults import FaultSpec
 from repro.sim.radio import RATE_5_5MBPS, RATE_11MBPS
 from repro.topology.mobility import MobilitySpec
 
@@ -372,6 +373,56 @@ register(ScenarioSpec(
     run={"total_packets": 192, "coding_payload_size": 16, "max_duration": 60.0},
     seeds=(1,),
     sweep={"run.refresh_period": (0.5, 2.0, 8.0, "inf")},
+))
+
+# --------------------------------------------------------------------------- #
+# Fault injection: node crashes, outages and liveness monitoring
+# (see repro.sim.faults, repro.sim.monitor and docs/faults.md)
+# --------------------------------------------------------------------------- #
+
+register(ScenarioSpec(
+    name="node_churn_mesh",
+    description="Node churn on a 16-node geometric mesh: relays crash and "
+                "recover (exponential up/down) while a 1 s refresh loop "
+                "re-plans around them; endpoints protected",
+    topology=TopologySpec("random_geometric", {"node_count": 16, "area": 120.0,
+                                               "seed": 2}),
+    workload=WorkloadSpec("explicit", {"pairs": [[0, 12]]}),
+    faults=FaultSpec("crash_recover", {"mean_uptime": 8.0, "mean_downtime": 1.5,
+                                       "protect": [0, 12]}),
+    run={"total_packets": 96, "coding_payload_size": 16, "refresh_period": 1.0,
+         "progress_timeout": 4.0, "max_duration": 60.0},
+    seeds=(1,),
+))
+
+register(ScenarioSpec(
+    name="crash_recover_sweep",
+    description="Fault-rate axis: MORE vs ExOR vs Srcr on a lossy 4-hop chain "
+                "as relay mean uptime shrinks (sweep faults.mean_uptime); "
+                "stalled flows abort gracefully via run.progress_timeout",
+    topology=TopologySpec("chain", {"hops": 4, "link_delivery": 0.75,
+                                    "skip_delivery": 0.2}),
+    workload=WorkloadSpec("explicit", {"pairs": [[0, 4]]}),
+    faults=FaultSpec("crash_recover", {"mean_downtime": 1.0,
+                                       "protect": [0, 4]}),
+    run={"total_packets": 64, "packet_size": 512, "coding_payload_size": 16,
+         "refresh_period": 1.0, "progress_timeout": 3.0, "max_duration": 60.0},
+    seeds=(1,),
+    sweep={"faults.mean_uptime": (2.0, 6.0, 18.0)},
+))
+
+register(ScenarioSpec(
+    name="kilonode_stranded",
+    description="Regression: the PR 6 kilonode stranding pathology (10% "
+                "pruning leaves no forwarders) with the liveness monitor on — "
+                "running it raises a StallDiagnosis instead of hanging",
+    topology=copy.deepcopy(_KILONODE_MESH),
+    workload=WorkloadSpec("explicit", {"pairs": [[441, 0]]}),
+    protocols=("MORE",),
+    # Deliberately NO run.max_relays: the uncapped 10% rule is the bug.
+    run={"total_packets": 64, "batch_size": 32, "coding_payload_size": 16,
+         "max_duration": 60.0, "monitor": True, "monitor_interval": 1.0},
+    seeds=(1,),
 ))
 
 register(ScenarioSpec(

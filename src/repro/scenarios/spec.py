@@ -26,6 +26,7 @@ from typing import Any
 
 from repro.experiments.runner import PROTOCOLS, RunConfig
 from repro.sim.channels import CHANNEL_MODELS, ChannelSpec
+from repro.sim.faults import FAULT_KINDS, FaultSpec
 from repro.topology.mobility import MOBILITY_KINDS, MobilitySpec
 
 #: Execution modes understood by :func:`repro.scenarios.execute.run_cell`.
@@ -80,6 +81,19 @@ def _apply_dotted(spec: "ScenarioSpec", path: str, value: Any) -> None:
                 spec.mobility = MobilitySpec(kind=value)
         else:
             spec.mobility.params[rest] = value
+    elif head == "faults":
+        # Same conventions as `channel`/`mobility`: a bare kind (or
+        # `faults.kind`) switches the fault process and resets stale params;
+        # `faults.<param>` sets one parameter, making fault severity (crash
+        # rates, outage windows) a sweepable axis like any other.
+        if not rest or rest == "kind":
+            if value not in FAULT_KINDS:
+                raise ValueError(f"unknown faults kind {value!r}; expected "
+                                 f"one of {FAULT_KINDS}")
+            if value != spec.faults.kind:
+                spec.faults = FaultSpec(kind=value)
+        else:
+            spec.faults.params[rest] = value
     elif head == "protocols" and not rest:
         # A bare string means one protocol, not a tuple of its characters.
         spec.protocols = (value,) if isinstance(value, str) else tuple(value)
@@ -88,7 +102,7 @@ def _apply_dotted(spec: "ScenarioSpec", path: str, value: Any) -> None:
     else:
         raise ValueError(
             f"unsupported override path {path!r}; expected run.*, topology.*, "
-            "workload.*, channel.*, mobility.*, protocols or mode"
+            "workload.*, channel.*, mobility.*, faults.*, protocols or mode"
         )
 
 
@@ -158,6 +172,12 @@ class ScenarioSpec:
             Pair with a finite ``run.refresh_period`` for an online
             control plane (a plan refreshed mid-flow), or leave it at
             ``inf`` to study stale plans.
+        faults: the fault-injection process
+            (:class:`~repro.sim.faults.FaultSpec`); defaults to fault-free.
+            Same seeding convention as ``channel``.  Pair with a finite
+            ``run.progress_timeout`` so crashed forwarders trigger recovery
+            re-plans and, failing that, a structured abort instead of a
+            hang; set ``run.monitor`` for in-run liveness checking.
         protocols: protocol tokens; plain names (``MORE``, ``ExOR``,
             ``Srcr``) or variants such as ``Srcr/auto`` (Srcr with Onoe-style
             autorate, the Figure 4-6 baseline).
@@ -180,6 +200,7 @@ class ScenarioSpec:
     mode: str = "throughput"
     channel: ChannelSpec = field(default_factory=ChannelSpec)
     mobility: MobilitySpec = field(default_factory=MobilitySpec)
+    faults: FaultSpec = field(default_factory=FaultSpec)
     run: dict[str, Any] = field(default_factory=dict)
     seeds: tuple[int, ...] = (1,)
     sweep: dict[str, tuple] = field(default_factory=dict)
@@ -199,6 +220,11 @@ class ScenarioSpec:
         if self.mobility.kind not in MOBILITY_KINDS:
             raise ValueError(f"unknown mobility kind {self.mobility.kind!r}; "
                              f"expected one of {MOBILITY_KINDS}")
+        if isinstance(self.faults, dict):
+            self.faults = FaultSpec.from_dict(self.faults)
+        if self.faults.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown faults kind {self.faults.kind!r}; "
+                             f"expected one of {FAULT_KINDS}")
         self.protocols = tuple(self.protocols)
         self.seeds = tuple(int(s) for s in self.seeds)
         self.sweep = {path: tuple(values) for path, values in self.sweep.items()}
@@ -215,6 +241,7 @@ class ScenarioSpec:
             "mode": self.mode,
             "channel": self.channel.to_dict(),
             "mobility": self.mobility.to_dict(),
+            "faults": self.faults.to_dict(),
             "run": dict(self.run),
             "seeds": list(self.seeds),
             "sweep": {path: list(values) for path, values in self.sweep.items()},
@@ -235,6 +262,7 @@ class ScenarioSpec:
             mode=data.get("mode", "throughput"),
             channel=ChannelSpec.from_dict(data.get("channel", {"kind": "static"})),
             mobility=MobilitySpec.from_dict(data.get("mobility", {"kind": "none"})),
+            faults=FaultSpec.from_dict(data.get("faults", {"kind": "none"})),
             run=dict(data.get("run", {})),
             seeds=tuple(data.get("seeds", (1,))),
             sweep={path: tuple(vals) for path, vals in data.get("sweep", {}).items()},
@@ -275,6 +303,8 @@ class ScenarioSpec:
             values.setdefault("channel", self.channel.to_dict())
         if not self.mobility.is_static:
             values.setdefault("mobility", self.mobility.to_dict())
+        if not self.faults.is_none:
+            values.setdefault("faults", self.faults.to_dict())
         config = RunConfig(**values)
         config.total_packets = max(config.total_packets,
                                    MIN_BATCHES_PER_TRANSFER * config.batch_size)

@@ -78,6 +78,9 @@ class CsmaMac:
         self.events = simulator.events
         self.rng = simulator.rng
         self.medium = simulator.medium
+        #: Fault injector (``None`` = fault-free): a crashed node's MAC
+        #: neither starts contention nor fires a pending attempt.
+        self.faults = simulator.faults
         #: The node's protocol agent; kept in sync by :meth:`SimNode.attach`.
         self.agent = None
         self.state = MacState.IDLE
@@ -113,6 +116,8 @@ class CsmaMac:
         """
         if self.state is not MacState.IDLE:
             return
+        if self.faults is not None and self.faults.down(self.node_id):
+            return  # crashed: the injector re-triggers on recovery
         agent = self.agent
         if agent is None or not agent.has_pending(self.events.now):
             return
@@ -160,6 +165,16 @@ class CsmaMac:
         """Fire when the backoff expires: transmit if the medium is still idle."""
         self._pending_handle = None
         now = self.events.now
+        if self.faults is not None and self.faults.down(self.node_id):
+            # Crashed during backoff/turnaround: the NIC forgets the frame
+            # (reported to the agent as a send failure, like an exhausted
+            # retry) and the MAC drains to idle until recovery re-triggers.
+            frame = self._current_frame
+            if frame is not None:
+                self._finish_frame(frame, success=False)
+            else:
+                self.state = MacState.IDLE
+            return
         if self.medium.is_busy(self.node_id, now):
             # Someone grabbed the channel during our backoff; defer again.
             self._start_contention(now)

@@ -64,12 +64,17 @@ class WirelessMedium:
     def __init__(self, topology: Topology, channel: ChannelConfig,
                  rng: np.random.Generator, model: ChannelModel | None = None,
                  vectorized: bool = True, fast: bool = True,
-                 mobility: MobilityModel | None = None) -> None:
+                 mobility: MobilityModel | None = None,
+                 faults=None) -> None:
         self.topology = topology
         self.channel = channel
         self.rng = rng
         self.model = model if model is not None else StaticBernoulli()
         self.model.bind(topology)
+        #: Fault injector (``None`` = fault-free, today's behaviour bit for
+        #: bit).  When present, resolved receivers are filtered *after* the
+        #: channel draws so the RNG stream is identical either way.
+        self.faults = faults
         #: Dynamic-topology process (``None`` = static, today's behaviour
         #: bit for bit).  When present, every epoch boundary re-bases the
         #: channel model and invalidates the per-sender resolution caches.
@@ -343,6 +348,14 @@ class WirelessMedium:
                                                      overlapping)
             if receivers is None:
                 receivers = self._resolve_scalar(sender, probabilities, overlapping)
+        if self.faults is not None:
+            kept = self.faults.filter_receivers(transmission.frame, receivers,
+                                                now)
+            if len(kept) != len(receivers):
+                # Keep the receptions counter meaning "frames delivered to
+                # a live radio", whichever resolve path counted them.
+                self.receptions -= len(receivers) - len(kept)
+                receivers = kept
         transmission.receivers = receivers
         if self.fast:
             try:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.sim.channels import ChannelSpec
+from repro.sim.faults import FaultSpec
 from repro.topology.mobility import MobilitySpec
 
 #: 802.11b data rates in bits per second.
@@ -151,8 +152,18 @@ class SimConfig:
     #: Event-engine / hot-path selection (``fast`` or ``legacy``; results
     #: are bit-identical either way).
     engine: str = "fast"
+    #: Fault-process spec (``None`` = fault-free — today's behaviour, bit
+    #: for bit; see :mod:`repro.sim.faults`).
+    faults: FaultSpec | None = None
+    #: Attach a :class:`~repro.sim.monitor.SimMonitor` liveness checker to
+    #: the event loop (off by default: a monitored run adds tick events).
+    monitor: bool = False
+    #: Monitor check period in simulated seconds.
+    monitor_interval: float = 1.0
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_MODES:
             raise ValueError(f"unknown engine {self.engine!r}; expected one of "
                              f"{ENGINE_MODES}")
+        if self.monitor_interval <= 0.0:
+            raise ValueError("monitor_interval must be positive")

@@ -8,6 +8,8 @@ import numpy as np
 
 from repro.sim.channels import build_channel_model
 from repro.sim.events import EventHandle, EventQueue, LegacyEventQueue
+from repro.sim.faults import FaultInjector, build_fault_model
+from repro.sim.monitor import SimMonitor
 from repro.topology.mobility import build_mobility_model
 from repro.sim.frames import Frame, FrameKind
 from repro.sim.medium import WirelessMedium
@@ -47,17 +49,30 @@ class Simulator:
         # before.
         mobility = build_mobility_model(self.config.mobility,
                                         seed=self.config.seed)
+        # Fault processes ride their own counter-based stream and, when the
+        # spec is None, neither schedule events nor alter any hot path — a
+        # fault-free simulation is bit-identical with or without the
+        # subsystem (pinned by tests/sim/test_fault_differential.py).
+        fault_model = build_fault_model(self.config.faults,
+                                        seed=self.config.seed)
+        self.faults = (FaultInjector(fault_model, self)
+                       if fault_model is not None else None)
         self.medium = WirelessMedium(topology, self.config.channel, self.rng,
                                      model=model,
                                      vectorized=self.config.vectorized_medium,
                                      fast=self.fast_engine,
-                                     mobility=mobility)
+                                     mobility=mobility,
+                                     faults=self.faults)
         # node id -> attached agent (or None); the flat list saves the
         # per-receiver node-object indirection on the delivery hot path and
         # is kept in sync by SimNode.attach.
         self._agents: list = [None] * topology.node_count
         self.nodes = [SimNode(i, self) for i in range(topology.node_count)]
         self.stats = StatsCollector()
+        if self.faults is not None:
+            self.faults.install()
+        self.monitor = (SimMonitor(self, interval=self.config.monitor_interval)
+                        if self.config.monitor else None)
 
     # ------------------------------------------------------------------ #
     # Clock and scheduling
@@ -86,6 +101,8 @@ class Simulator:
         cannot change value between versions.
         """
         horizon = until if until is not None else self.config.max_duration
+        if self.monitor is not None and not self.monitor.installed:
+            self.monitor.install()
         condition = stop_condition
         version_source = None
         if (stop_condition is not None

@@ -25,11 +25,22 @@ class FlowRecord:
     delivered_packets: int = 0
     delivered_batches: int = 0
     duplicate_packets: int = 0
+    #: True when the flow was given up on (progress timeout after faults,
+    #: say) rather than delivered; ``abort_reason`` says why.  A structured
+    #: outcome — the alternative is a run that never terminates.
+    aborted: bool = False
+    abort_reason: str = ""
 
     @property
     def completed(self) -> bool:
         """True once every native packet has been delivered to the application."""
         return self.delivered_packets >= self.total_packets
+
+    @property
+    def finished(self) -> bool:
+        """True once the flow reached *any* terminal state: fully delivered
+        or structurally aborted."""
+        return self.completed or self.aborted
 
     @property
     def duration(self) -> float | None:
@@ -108,6 +119,19 @@ class StatsCollector:
                 self._incomplete -= 1
         self.version += 1
 
+    def record_abort(self, flow_id: int, now: float, reason: str = "") -> None:
+        """Record a structured give-up on ``flow_id`` (a ``FlowAborted``
+        outcome): the flow stops counting as incomplete, so the standard
+        stop condition terminates the run instead of spinning forever."""
+        record = self.flows[flow_id]
+        if record.end_time is None:
+            record.end_time = now
+            record.aborted = True
+            record.abort_reason = reason
+            if not record.completed:
+                self._incomplete -= 1
+        self.version += 1
+
     def record_duplicate(self, flow_id: int) -> None:
         """Record a non-innovative / duplicate packet arriving at the destination."""
         if flow_id in self.flows:
@@ -120,7 +144,8 @@ class StatsCollector:
         self.version += 1
 
     def all_flows_complete(self) -> bool:
-        """True when every registered flow has delivered all its packets.
+        """True when every registered flow reached a terminal state
+        (delivered in full, or structurally aborted).
 
         O(1): tracked via the incomplete-flow counter, not a per-call scan.
         """
@@ -133,7 +158,7 @@ class StatsCollector:
         substitutes this under ``engine="legacy"`` so the reference
         measurement keeps the original per-event stop-condition cost.
         """
-        return bool(self.flows) and all(f.completed for f in self.flows.values())
+        return bool(self.flows) and all(f.finished for f in self.flows.values())
 
     def total_data_transmissions(self) -> int:
         """Total data-frame transmissions across all nodes."""

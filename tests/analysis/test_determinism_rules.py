@@ -1,4 +1,4 @@
-"""DET001/DET002 fixture tests: seeded randomness and counter purity."""
+"""DET001/DET002/DET003 fixture tests: seeded randomness and counter purity."""
 
 from __future__ import annotations
 
@@ -92,3 +92,46 @@ def test_det002_accepts_per_query_generators(tmp_path):
                 "    def sample(self, epoch):\n"
                 "        rng = np.random.default_rng((self.seed, epoch))\n"
                 "        return rng.uniform()\n") == []
+
+
+def det3(tmp_path, body):
+    write(tmp_path, "src/repro/sim/faults.py", body)
+    config = replace(AnalysisConfig(),
+                     fault_modules=("src/repro/sim/faults.py",))
+    return run_rules(tmp_path, config=config, select=["DET003"])
+
+
+def test_det003_flags_generator_stored_on_fault_model(tmp_path):
+    findings = det3(tmp_path,
+                    "import numpy as np\n"
+                    "class CrashRecover:\n"
+                    "    def __init__(self, seed):\n"
+                    "        self.rng = np.random.default_rng(seed)\n")
+    assert len(findings) == 1
+    assert findings[0].rule == "DET003"
+    assert "pure functions" in findings[0].message
+
+
+def test_det003_flags_spawned_children(tmp_path):
+    findings = det3(tmp_path,
+                    "class CrashRecover:\n"
+                    "    def __init__(self, rng):\n"
+                    "        self.chain_rng = rng.spawn(1)[0]\n")
+    assert len(findings) == 1 and findings[0].rule == "DET003"
+
+
+def test_det003_accepts_counter_based_fault_chains(tmp_path):
+    assert det3(tmp_path,
+                "import numpy as np\n"
+                "class CrashRecover:\n"
+                "    def __init__(self, seed):\n"
+                "        self.seed = seed\n"
+                "    def transition(self, node, counter):\n"
+                "        rng = np.random.default_rng((self.seed, node, counter))\n"
+                "        return rng.uniform()\n") == []
+
+
+def test_det003_covers_the_real_fault_module():
+    from pathlib import Path
+    repo = Path(__file__).resolve().parents[2]
+    assert run_rules(repo, select=["DET003"]) == []

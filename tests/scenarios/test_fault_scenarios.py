@@ -1,0 +1,123 @@
+"""Fault presets and graceful degradation at the scenario layer.
+
+The acceptance contract of the fault subsystem, end to end:
+
+* crashing **every** MORE forwarder mid-batch yields a structured
+  ``FlowAborted`` outcome (``FlowResult.aborted`` + a reason naming the
+  down nodes) for all three protocols — never a hang;
+* the outcome is deterministic: parallel sweep cells equal serial ones bit
+  for bit with a crash/recover process active;
+* the ``kilonode_stranded`` regression preset reconstructs the PR 6
+  stranded-flow pathology and the monitor flags it within one check
+  interval instead of letting it hang to ``max_duration``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.parallel import run_sweep
+from repro.experiments.runner import RunConfig, run_single_flow
+from repro.scenarios import get_preset, run_cell
+from repro.sim.monitor import StallDiagnosis
+from repro.topology.graph import Topology
+
+
+def chain_topology(hops=3, delivery=0.9):
+    n = hops + 1
+    matrix = np.zeros((n, n))
+    for i in range(hops):
+        matrix[i, i + 1] = matrix[i + 1, i] = delivery
+    return Topology(matrix)
+
+
+def crash_all_relays_config(**overrides):
+    """Both relays of the 3-hop chain die mid-batch and stay down."""
+    defaults = dict(
+        seed=1, total_packets=32, batch_size=16, packet_size=256,
+        coding_payload_size=16, max_duration=30.0,
+        faults={"kind": "scheduled",
+                "params": {"downs": {1: [[0.01, 1e9]], 2: [[0.01, 1e9]]}}},
+        refresh_period=0.5, progress_timeout=0.5)
+    defaults.update(overrides)
+    return RunConfig(**defaults)
+
+
+class TestStructuredAborts:
+    @pytest.mark.parametrize("protocol", ("MORE", "ExOR", "Srcr"))
+    def test_all_forwarders_crashed_aborts_instead_of_hanging(self, protocol):
+        result = run_single_flow(chain_topology(), protocol, 0, 3,
+                                 config=crash_all_relays_config())
+        assert result.aborted and not result.completed
+        assert "no progress" in result.abort_reason
+        assert "down nodes [1, 2]" in result.abort_reason
+        # The abort fired after the supervisor's bounded re-plans, long
+        # before max_duration: graceful degradation, not a timeout.
+        assert result.duration < 30.0
+
+    @pytest.mark.parametrize("protocol", ("MORE", "ExOR", "Srcr"))
+    def test_abort_is_deterministic(self, protocol):
+        first = run_single_flow(chain_topology(), protocol, 0, 3,
+                                config=crash_all_relays_config())
+        second = run_single_flow(chain_topology(), protocol, 0, 3,
+                                 config=crash_all_relays_config())
+        assert (first.aborted, first.abort_reason, first.duration,
+                first.delivered_packets) \
+            == (second.aborted, second.abort_reason, second.duration,
+                second.delivered_packets)
+
+    def test_recovery_before_timeout_completes_normally(self):
+        config = crash_all_relays_config(
+            faults={"kind": "scheduled",
+                    "params": {"downs": {1: [[0.01, 0.2]], 2: [[0.01, 0.2]]}}})
+        result = run_single_flow(chain_topology(), "MORE", 0, 3, config=config)
+        assert result.completed and not result.aborted
+
+
+class TestFaultPresets:
+    def test_fault_presets_registered(self):
+        churn = get_preset("node_churn_mesh")
+        assert churn.faults.kind == "crash_recover"
+        assert churn.run["progress_timeout"] == 4.0
+        sweep = get_preset("crash_recover_sweep")
+        assert "faults.mean_uptime" in sweep.sweep
+        assert len(sweep.expand()) == 3
+
+    def test_crash_recover_sweep_parallel_matches_serial(self):
+        spec = get_preset("crash_recover_sweep")
+        spec.run["total_packets"] = 32  # keep the two-worker run sub-second
+        serial = run_sweep(spec, workers=1, results_dir=None)
+        parallel = run_sweep(spec, workers=2, results_dir=None)
+        assert [cell.to_dict() for cell in serial.cells] \
+            == [cell.to_dict() for cell in parallel.cells]
+
+    def test_aborted_flows_surface_in_cell_summary(self):
+        spec = get_preset("crash_recover_sweep")
+        spec.protocols = ("MORE",)
+        spec.sweep = {}
+        # Make the churn fatal: every relay dead from t=0.01, no recovery.
+        spec.faults.kind = "scheduled"
+        spec.faults.params = {"downs": {1: [[0.01, 1e9]], 2: [[0.01, 1e9]],
+                                        3: [[0.01, 1e9]]}}
+        result = run_cell(spec.expand()[0])
+        assert result.summary["MORE_aborted"] == 1.0
+        (note,) = result.meta["aborted_flows"]["MORE"]
+        assert note.startswith("flow 0->4:") and "no progress" in note
+
+
+class TestKilonodeStrandedRegression:
+    def test_monitor_flags_the_pr6_pathology_within_one_interval(self):
+        """The PR 6 silent hang, reconstructed: uncapped 10% pruning on the
+        kilonode mesh strands the flow; the monitor turns the former
+        60-second hang into a first-interval StallDiagnosis."""
+        preset = get_preset("kilonode_stranded")
+        assert "max_relays" not in preset.run  # the uncapped rule IS the bug
+        assert preset.run["monitor"] is True
+        with pytest.raises(StallDiagnosis) as excinfo:
+            run_cell(preset.expand()[0])
+        diagnosis = excinfo.value
+        assert diagnosis.ticks == 1  # flagged at the very first check
+        assert diagnosis.now == pytest.approx(preset.run["monitor_interval"])
+        (info,) = diagnosis.flows.values()
+        assert info["delivered"] == 0 and info["rank"] == 0

@@ -14,7 +14,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.orchestrator import (
-    FaultSpec,
+    WorkerFaultSpec,
     ResultStore,
     SweepError,
     SweepJournal,
@@ -123,7 +123,7 @@ class TestCacheKeys:
 class TestRetryTimeout:
     def test_crashed_worker_is_replaced_and_cell_retried(self, quick_cells, tmp_path):
         reference = run_sweep(quick_cells, workers=1, results_dir=None)
-        fault = FaultSpec(kind="crash", positions=(1,),
+        fault = WorkerFaultSpec(kind="crash", positions=(1,),
                           marker=str(tmp_path / "crash.marker"))
         pool = WorkerPool(2, fault=fault)
         try:
@@ -137,7 +137,7 @@ class TestRetryTimeout:
 
     def test_hung_worker_is_killed_and_cell_retried(self, quick_cells, tmp_path):
         reference = run_sweep(quick_cells, workers=1, results_dir=None)
-        fault = FaultSpec(kind="hang", positions=(2,),
+        fault = WorkerFaultSpec(kind="hang", positions=(2,),
                           marker=str(tmp_path / "hang.marker"))
         pool = WorkerPool(2, fault=fault)
         try:
@@ -150,7 +150,7 @@ class TestRetryTimeout:
             == [c.to_dict() for c in reference.cells]
 
     def test_retries_exhausted_raises_sweep_error(self, quick_cells, tmp_path):
-        fault = FaultSpec(kind="crash", positions=(0,),
+        fault = WorkerFaultSpec(kind="crash", positions=(0,),
                           marker=str(tmp_path / "always.marker"), once=False)
         pool = WorkerPool(2, fault=fault)
         try:
