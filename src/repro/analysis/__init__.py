@@ -26,10 +26,30 @@ AST-walking rule framework with repo-specific rules:
     selector, ``VECMAT_KERNELS``) must keep identical public signatures so
     API drift fails the build before a differential test has to catch it.
 
+``DET101``
+    Whole-program RNG provenance (interprocedural, via the call-graph +
+    dataflow layer): no main-RNG value may reach a draw inside a
+    counter-based module, no draw may come from a generator stored on an
+    instance attribute of one (query-order dependence), no attribute may
+    mix generators from multiple construction sites, and every resolvable
+    draw must trace back to a declared stream root.
+
+``EVT101``
+    Event-handle lifecycle: every handle-returning ``schedule``/
+    ``schedule_at`` call must store a handle that some teardown path
+    cancels, hand it to its caller, or use the fire-and-forget
+    ``schedule_callback`` variants instead (the PR 4 ``_pending_handle``
+    leak class, caught statically).
+
 ``CFG001``
     Config threading: every ``RunConfig`` field must be consumed somewhere
     in ``src/repro`` (the recurring half-threaded-field bug class) and the
     ``ScenarioSpec`` run/override plumbing must stay intact.
+
+``CFG101``
+    Interprocedural config threading: a field only counts as live when a
+    read of it is *reachable* from the CLI/figure entry points through
+    the call graph — a read in dead code does not thread a knob.
 
 ``CACHE001``
     Cache-key coverage: every ``RunConfig`` field must feed the
@@ -42,6 +62,11 @@ AST-walking rule framework with repo-specific rules:
     their registered classes and stay free of per-event lambda allocation
     and ``print``.
 
+``SUP001``
+    Unused-suppression audit (ruff's ``unused-noqa``): every
+    ``# repro: allow-<RULE>`` comment must suppress an actual finding of
+    a rule that ran in the same invocation.
+
 Style rules (``E501``/``W291``/``W293``/``W191``/``F401``/``SYN001``) from
 the old ``scripts/lint.py`` stdlib fallback run through the same registry,
 so there is one rule framework and one entrypoint::
@@ -51,8 +76,15 @@ so there is one rule framework and one entrypoint::
     make analyze                                     # the pre-merge gate
 
 Findings are suppressed per line with ``# repro: allow-<RULE>`` (same line
-or an immediately preceding comment line); see docs/invariants.md for each
-rule's rationale and the full suppression syntax.
+or an immediately preceding comment line) or module-wide with
+``# repro: allow-<RULE> file``; see docs/invariants.md for each rule's
+rationale and the full suppression syntax.
+
+The interprocedural rules sit on a shared whole-program substrate:
+:mod:`repro.analysis.callgraph` (module index, type-lite inference,
+call/reference graph, reachability) and :mod:`repro.analysis.dataflow`
+(abstract-location value flow for generator and handle provenance), both
+built once per project snapshot and memoised.
 """
 
 from repro.analysis.framework import (
@@ -70,15 +102,20 @@ from repro.analysis import cache_key  # noqa: F401  (registration import)
 from repro.analysis import config_threading  # noqa: F401  (registration import)
 from repro.analysis import determinism  # noqa: F401  (registration import)
 from repro.analysis import hotpath  # noqa: F401  (registration import)
+from repro.analysis import lifecycle  # noqa: F401  (registration import)
 from repro.analysis import parity  # noqa: F401  (registration import)
+from repro.analysis import rng_provenance  # noqa: F401  (registration import)
 from repro.analysis import style  # noqa: F401  (registration import)
+from repro.analysis import suppressions  # noqa: F401  (registration import)
 
 #: The rule subset `make lint`'s stdlib fallback runs (the old
 #: scripts/lint.py checks, now living in :mod:`repro.analysis.style`).
 STYLE_RULES = ("SYN001", "E501", "W191", "W291", "W293", "F401")
 
 #: The repo-specific invariant rules (everything that is not style).
-INVARIANT_RULES = ("DET001", "DET002", "ENG001", "CFG001", "CACHE001", "PERF001")
+INVARIANT_RULES = ("DET001", "DET002", "DET003", "DET101", "ENG001",
+                   "EVT101", "CFG001", "CFG101", "CACHE001", "PERF001",
+                   "SUP001")
 
 __all__ = [
     "AnalysisConfig",

@@ -21,6 +21,26 @@ def _repo_root() -> Path:
     return Path(__file__).resolve().parents[3]
 
 
+def _github_annotation(finding) -> str:
+    """One finding as a GitHub Actions workflow command.
+
+    ``::error file=...,line=...,title=RULE::message`` makes the analyze
+    job surface findings inline on the PR diff.  Newlines and the
+    characters the workflow-command grammar reserves are percent-escaped
+    per the Actions toolkit rules.
+    """
+    def escape(text: str, extra: tuple[str, ...] = ()) -> str:
+        text = text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        for char in extra:
+            text = text.replace(char, f"%{ord(char):02X}")
+        return text
+
+    properties = escape(finding.path, (":", ","))
+    title = escape(finding.rule, (":", ","))
+    return (f"::error file={properties},line={finding.line},"
+            f"title={title}::{escape(finding.message)}")
+
+
 def _parse_select(raw: list[str]) -> list[str] | None:
     if not raw:
         return None
@@ -46,6 +66,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="list registered rules and exit")
     parser.add_argument("--no-mypy", action="store_true",
                         help="skip the strict-mypy gate")
+    parser.add_argument("--format", choices=("text", "github"),
+                        default="text",
+                        help="finding output format: plain text (default) "
+                             "or GitHub workflow ::error annotations")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -60,7 +84,10 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as error:
         parser.error(str(error))
     for finding in findings:
-        print(finding.render())
+        if args.format == "github":
+            print(_github_annotation(finding))
+        else:
+            print(finding.render())
 
     status = 0
     if findings:

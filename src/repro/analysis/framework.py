@@ -23,15 +23,20 @@ point a rule at a known-bad synthetic tree.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Iterator
 
-#: ``# repro: allow-DET001`` (optionally followed by a reason) suppresses
+#: A suppression directive: a *comment* whose text begins with
+#: ``repro: allow-RULE`` (optionally followed by a reason).  It suppresses
 #: matching findings on its line, or on the next code line when the comment
-#: stands alone.
-_SUPPRESS = re.compile(r"#\s*repro:\s*allow-([A-Za-z0-9]+)")
+#: stands alone; an extra ``file`` token right after the rule name widens
+#: the scope to the whole module.  Only real comment tokens count — the
+#: same text inside a string or docstring merely *mentions* the syntax.
+_SUPPRESS = re.compile(r"#\s*repro:\s*allow-([A-Za-z0-9]+)(\s+file\b)?")
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,12 @@ class SourceFile:
         self._tree: ast.Module | None = None
         self._syntax_error: SyntaxError | None = None
         self._suppressions: dict[int, set[str]] | None = None
+        #: (rule, covered code line) -> comment lines granting the cover
+        self._line_cover: dict[tuple[str, int], set[int]] = {}
+        #: rule -> comment lines granting module-wide cover
+        self._file_cover: dict[str, set[int]] = {}
+        #: every ``allow-RULE`` occurrence: (comment line, rule, file scope)
+        self._sites: list[tuple[int, str, bool]] = []
 
     @property
     def tree(self) -> ast.Module | None:
@@ -74,34 +85,91 @@ class SourceFile:
         self.tree  # noqa: B018 - force the parse attempt
         return self._syntax_error
 
+    def _comment_tokens(self) -> list[tuple[int, str]]:
+        """(line, text) for every real comment token in the file.
+
+        Tokenizing (rather than regex-scanning raw lines) is what keeps a
+        docstring or string literal that *mentions* the suppression syntax
+        from acting as — or being audited as — a suppression.  Files the
+        tokenizer rejects fall back to a crude first-``#`` line scan so
+        suppressions still work alongside their SYN001 finding.
+        """
+        try:
+            return [(token.start[0], token.string)
+                    for token in tokenize.generate_tokens(
+                        io.StringIO(self.text).readline)
+                    if token.type == tokenize.COMMENT]
+        except (tokenize.TokenError, IndentationError, SyntaxError,
+                ValueError):
+            return [(number, line[line.index("#"):])
+                    for number, line in enumerate(self.lines, start=1)
+                    if "#" in line]
+
     def suppressions(self) -> dict[int, set[str]]:
         """Map line number -> rule names suppressed on that line.
 
         A trailing ``# repro: allow-RULE`` comment covers its own line; a
         comment-only line covers the next non-blank, non-comment line too,
         so long suppression reasons need not fight the line-length rule.
+        ``# repro: allow-RULE file`` covers the whole module (reported
+        here under the comment's own line; :meth:`is_suppressed` applies
+        it everywhere).  The directive must open its comment: trailing
+        prose, doc references and quoted examples never suppress.
         """
         if self._suppressions is None:
+            directives: dict[int, list[tuple[str, str]]] = {}
+            for number, comment in self._comment_tokens():
+                if _SUPPRESS.match(comment):
+                    directives.setdefault(number, []).extend(
+                        _SUPPRESS.findall(comment))
             table: dict[int, set[str]] = {}
-            pending: set[str] = set()
+            # (rule, site line) pairs waiting for the next code line.
+            pending: set[tuple[str, int]] = set()
             for number, line in enumerate(self.lines, start=1):
-                rules = {match.upper() for match in _SUPPRESS.findall(line)}
+                sited: set[tuple[str, int]] = set()
+                for rule_name, file_token in directives.get(number, ()):
+                    rule_name = rule_name.upper()
+                    file_scope = bool(file_token)
+                    self._sites.append((number, rule_name, file_scope))
+                    if file_scope:
+                        self._file_cover.setdefault(rule_name, set()).add(number)
+                    else:
+                        sited.add((rule_name, number))
                 stripped = line.strip()
-                if rules:
-                    table.setdefault(number, set()).update(rules)
+                if sited:
+                    for rule_name, site in sited:
+                        table.setdefault(number, set()).add(rule_name)
+                        self._line_cover.setdefault(
+                            (rule_name, number), set()).add(site)
                     if stripped.startswith("#"):
-                        pending |= rules  # standalone comment: covers next code line
+                        pending |= sited  # standalone comment: next code line
                         continue
                 if not stripped or stripped.startswith("#"):
                     continue
                 if pending:
-                    table.setdefault(number, set()).update(pending)
+                    for rule_name, site in pending:
+                        table.setdefault(number, set()).add(rule_name)
+                        self._line_cover.setdefault(
+                            (rule_name, number), set()).add(site)
                     pending = set()
             self._suppressions = table
         return self._suppressions
 
     def is_suppressed(self, rule: str, line: int) -> bool:
-        return rule in self.suppressions().get(line, ())
+        self.suppressions()
+        return rule in self.suppressions().get(line, ()) \
+            or rule in self._file_cover
+
+    def suppression_sites(self) -> list[tuple[int, str, bool]]:
+        """Every ``allow-RULE`` occurrence: (line, rule, file scope)."""
+        self.suppressions()
+        return list(self._sites)
+
+    def covering_sites(self, rule: str, line: int) -> set[int]:
+        """Comment lines whose suppression covers (rule, line)."""
+        self.suppressions()
+        return self._line_cover.get((rule, line), set()) \
+            | self._file_cover.get(rule, set())
 
 
 class Project:
@@ -148,6 +216,9 @@ class AnalysisConfig:
     line_length: int = 100
     #: The package subtree the determinism/invariant rules police.
     src_prefix: str = "src/repro"
+    #: Import root: dotted module names derive from paths under here
+    #: (``src/repro/sim/events.py`` -> ``repro.sim.events``).
+    src_root: str = "src"
     #: Wall-clock callables DET001 rejects inside :attr:`src_prefix`.
     wallclock_calls: tuple[str, ...] = (
         "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
@@ -202,6 +273,26 @@ class AnalysisConfig:
         "src/repro/gf/kernels.py",
         "src/repro/protocols/more/agent.py",
     )
+    #: The attribute holding the main simulation Generator — DET101's MAIN
+    #: stream root (path, class, attribute).
+    rng_main_root: tuple[str, str, str] = (
+        "src/repro/sim/simulator.py", "Simulator", "rng")
+    #: Generator methods DET101 treats as draw sites.
+    rng_draw_methods: tuple[str, ...] = (
+        "random", "integers", "normal", "uniform", "choice", "shuffle",
+        "permutation", "exponential", "standard_normal", "bytes")
+    #: Classes whose handle-returning ``schedule*()`` calls EVT101 polices
+    #: (the queue pair plus the :class:`Simulator` facade).
+    event_queue_classes: tuple[tuple[str, str], ...] = (
+        ("src/repro/sim/events.py", "EventQueue"),
+        ("src/repro/sim/events.py", "LegacyEventQueue"),
+        ("src/repro/sim/simulator.py", "Simulator"),
+    )
+    #: The handle-returning schedule methods (the ``schedule_callback*``
+    #: fire-and-forget variants are the sanctioned discard path).
+    schedule_methods: tuple[str, ...] = ("schedule", "schedule_at")
+    #: Modules whose public surface seeds CFG101's reachability walk.
+    entry_modules: tuple[str, ...] = ("repro.cli", "repro.experiments.figures")
     #: path -> class names that must keep ``__slots__`` (literal assignment
     #: or ``@dataclass(slots=True)``).
     slots_classes: dict[str, tuple[str, ...]] = field(default_factory=lambda: {
@@ -259,25 +350,65 @@ def get_rule(name: str) -> Rule:
         ) from None
 
 
+#: The unused-suppression audit is driven by the framework itself (only
+#: ``run_rules`` knows which suppressions fired), not by a Rule.check.
+SUPPRESSION_AUDIT_RULE = "SUP001"
+
+
 def run_rules(root: Path | str, config: AnalysisConfig | None = None,
               select: Iterable[str] | None = None) -> list[Finding]:
     """Run the selected rules (default: all) over ``root``; sorted findings.
 
     Findings on lines carrying a matching ``# repro: allow-<RULE>``
     suppression are dropped here, so every caller — CLI, lint fallback,
-    tests — sees identical suppression semantics.
+    tests — sees identical suppression semantics.  When ``SUP001`` is in
+    the selection the framework additionally audits the suppressions
+    themselves: an ``allow-<RULE>`` comment that suppressed nothing is a
+    finding (a suppression is only audited against rules that actually
+    ran this invocation, so a partial ``--select`` never flags comments
+    belonging to rules it skipped — except for ``--select SUP001`` alone,
+    which runs every other rule silently to audit against the full set).
     """
     config = config if config is not None else AnalysisConfig()
     project = Project(Path(root), config.project_targets())
     names = list(select) if select is not None else sorted(_REGISTRY)
-    findings: list[Finding] = []
     for name in names:
+        get_rule(name)  # unknown names error out before any rule runs
+    audit = SUPPRESSION_AUDIT_RULE in names
+    executed = [name for name in names if name != SUPPRESSION_AUDIT_RULE]
+    report = True
+    if audit and not executed:
+        executed = sorted(set(_REGISTRY) - {SUPPRESSION_AUDIT_RULE})
+        report = False  # rules run only to credit suppressions
+    findings: list[Finding] = []
+    used: dict[str, set[tuple[int, str]]] = {}
+    for name in executed:
         rule = get_rule(name)
         for finding in rule.check(project, config):
             source = project.get(finding.path)
-            if source is not None and source.is_suppressed(finding.rule, finding.line):
-                continue
-            findings.append(finding)
+            if source is not None:
+                sites = source.covering_sites(finding.rule, finding.line)
+                if sites:
+                    used.setdefault(finding.path, set()).update(
+                        (site, finding.rule) for site in sites)
+                    continue
+            if report:
+                findings.append(finding)
+    if audit:
+        audited = set(executed)
+        for source in project.files:
+            used_here = used.get(source.relative, set())
+            for line, rule_name, file_scope in source.suppression_sites():
+                if rule_name not in audited or (line, rule_name) in used_here:
+                    continue
+                if source.is_suppressed(SUPPRESSION_AUDIT_RULE, line):
+                    continue
+                scope = "anywhere in this file" if file_scope else "here"
+                findings.append(Finding(
+                    SUPPRESSION_AUDIT_RULE, source.relative, line,
+                    f"unused suppression: `# repro: allow-{rule_name}` "
+                    f"matches no {rule_name} finding {scope} — remove it "
+                    "(or fix the rule selection)"))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

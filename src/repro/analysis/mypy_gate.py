@@ -9,7 +9,10 @@ starts small and is meant to only ever grow:
 * :mod:`repro.gf` (arithmetic, tables, matrix, kernels)
 * :mod:`repro.rng`
 * :mod:`repro.sim.events`
+* :mod:`repro.sim.faults`
+* :mod:`repro.sim.monitor`
 * :mod:`repro.topology.mobility`
+* :mod:`repro.experiments.orchestrator.store`
 
 mypy is a third-party tool and hermetic containers may not ship it, so —
 exactly like ruff in ``scripts/lint.py`` — the gate runs mypy when it is
@@ -31,7 +34,10 @@ STRICT_MODULES = (
     "repro.gf",
     "repro.rng",
     "repro.sim.events",
+    "repro.sim.faults",
+    "repro.sim.monitor",
     "repro.topology.mobility",
+    "repro.experiments.orchestrator.store",
 )
 
 

@@ -1,0 +1,40 @@
+"""SUP001: suppressions must suppress something (ruff's ``unused-noqa``).
+
+A stale ``# repro: allow-<RULE>`` comment is worse than noise: it
+documents a violation that no longer exists, and it will silently swallow
+the *next* genuine finding that lands on its line.  The audit itself
+lives in :func:`repro.analysis.framework.run_rules` — only the framework
+knows which suppressions actually absorbed a finding during a run — so
+this rule class is registered for the CLI surface (``--list-rules``,
+``--select``) and contributes no findings of its own.
+
+Scoping note: a suppression is audited only against rules that ran in
+the same invocation, so ``--select DET001`` never flags a ``PERF001``
+comment it had no way to vindicate.  ``--select SUP001`` alone audits
+against every registered rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.framework import (
+    AnalysisConfig,
+    Finding,
+    Project,
+    Rule,
+    register,
+)
+
+
+@register
+class UnusedSuppression(Rule):
+    """SUP001: every ``# repro: allow-<RULE>`` must suppress a finding."""
+
+    name = "SUP001"
+    description = ("every `# repro: allow-<RULE>` comment must suppress an "
+                   "actual finding of a rule that ran (stale suppressions "
+                   "hide the next real violation)")
+
+    def check(self, project: Project, config: AnalysisConfig) -> Iterable[Finding]:
+        return ()  # the audit runs inside framework.run_rules

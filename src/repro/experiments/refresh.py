@@ -117,7 +117,7 @@ class LinkStateRefresher:
         runs are bit-identical to a build without this subsystem.
         """
         if self.enabled:
-            self.sim.schedule(self.period, self._tick)
+            self.sim.schedule_callback(self.period, self._tick)
         return self
 
     def control_view(self) -> Topology:
@@ -150,7 +150,7 @@ class LinkStateRefresher:
                 # stale plan, retry next round (what a real control plane
                 # does when probes stop returning).
                 self.skipped_flows += 1
-        self.sim.schedule(self.period, self._tick)
+        self.sim.schedule_callback(self.period, self._tick)
 
 
 class FlowSupervisor:
@@ -198,7 +198,7 @@ class FlowSupervisor:
     def install(self) -> "FlowSupervisor":
         """Schedule the first check; a no-op for ``progress_timeout=inf``."""
         if self.enabled:
-            self.sim.schedule(self.period, self._tick)
+            self.sim.schedule_callback(self.period, self._tick)
         return self
 
     def control_view(self) -> Topology:
@@ -258,7 +258,7 @@ class FlowSupervisor:
                     reason=(f"no progress for {self.period:g}s after "
                             f"{replans} recovery re-plan(s); down nodes "
                             f"{down}"))
-        self.sim.schedule(self.period, self._tick)
+        self.sim.schedule_callback(self.period, self._tick)
 
 
 def refresh_flow(sim: "Simulator", handle, control: Topology,

@@ -195,8 +195,9 @@ class ExorScheduler:
         # must pad its timing estimate (the scheduling cost the paper blames
         # for ExOR's lost spatial reuse and fragile utilisation).
         batch_epoch = self.batch_id
-        self.sim.schedule(self.turn_guard_time,
-                          lambda: self._grant_if_current(next_position, batch_epoch))
+        self.sim.schedule_callback(
+            self.turn_guard_time,
+            lambda: self._grant_if_current(next_position, batch_epoch))
 
     def _grant_if_current(self, position: int, batch_epoch: int) -> None:
         """Grant a deferred turn unless the batch has moved on meanwhile."""
@@ -715,5 +716,6 @@ def setup_exor_flow(sim: Simulator, topology: Topology, source: int, destination
                                      packet_size, start_time)
     source_agent = sim.nodes[source].agent
     assert isinstance(source_agent, ExorAgent)
-    sim.events.schedule_at(start_time, lambda: source_agent.start_flow(flow_id))
+    sim.events.schedule_callback_at(start_time,
+                                    lambda: source_agent.start_flow(flow_id))
     return ExorFlowHandle(spec=spec, record=record, scheduler=scheduler)

@@ -210,6 +210,6 @@ def setup_more_flow(sim: Simulator, topology: Topology, source: int, destination
 
     record = sim.stats.register_flow(flow_id, source, destination, total, packet_size,
                                      start_time)
-    sim.events.schedule_at(start_time, lambda: sim.trigger_node(source))
+    sim.events.schedule_callback_at(start_time, lambda: sim.trigger_node(source))
     return MoreFlowHandle(spec=spec, record=record, source_agent=source_agent,
                           destination_agent=destination_agent)

@@ -242,6 +242,6 @@ def setup_srcr_flow(sim: Simulator, topology: Topology, source: int, destination
     assert isinstance(source_agent, SrcrAgent)
     record = sim.stats.register_flow(flow_id, source, destination, total_packets,
                                      packet_size, start_time)
-    sim.events.schedule_at(start_time,
-                           lambda: source_agent.enqueue_source_packets(flow_id))
+    sim.events.schedule_callback_at(
+        start_time, lambda: source_agent.enqueue_source_packets(flow_id))
     return SrcrFlowHandle(spec=spec, record=record)

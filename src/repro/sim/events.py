@@ -127,6 +127,15 @@ class EventQueue:
         """Schedule ``callback`` at an absolute simulation time."""
         return self.schedule(max(0.0, time - self.now), callback)
 
+    def schedule_callback_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no cancel handle is created.
+
+        The delay arithmetic is exactly :meth:`schedule_at`'s, so the heap
+        keys — and therefore dispatch order — are bit-identical to the
+        handle-returning path.
+        """
+        self.schedule_callback(max(0.0, time - self.now), callback)
+
     @property
     def empty(self) -> bool:
         """True if no pending (non-cancelled) events remain.  O(1)."""
@@ -292,6 +301,24 @@ class LegacyEventQueue:
         """Schedule ``callback`` at an absolute simulation time."""
         return self.schedule(max(0.0, time - self.now), callback)
 
+    def schedule_callback(self, delay: float, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancel handle is created.
+
+        The legacy heap stores a full event record either way; the variant
+        exists so callers can state no-cancel intent identically on both
+        engines (same ``(time, sequence)`` keys, same dispatch order).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        event = _LegacyScheduledEvent(time=self.now + delay, sequence=self._sequence,
+                                      callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+
+    def schedule_callback_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no cancel handle is created."""
+        self.schedule_callback(max(0.0, time - self.now), callback)
+
     @property
     def empty(self) -> bool:
         """True if no pending (non-cancelled) events remain (O(n) scan)."""
@@ -369,6 +396,8 @@ def pump_timer_workload(queue: "EventQueue | LegacyEventQueue",
         return tick
 
     for index in range(timers):
+        # repro: allow-EVT101 — the benchmark deliberately drives the
+        # handle-allocating path; measuring its cost is the point.
         queue.schedule(0.001 * (index + 1), make_timer(index))
     queue.run(max_events=events)
     return digest

@@ -360,7 +360,8 @@ class FaultInjector:
             transition = self.model.next_transition(node, 0.0)
             if transition is not None:
                 time, down = transition
-                events.schedule_at(time, partial(self._transition, node, down))
+                events.schedule_callback_at(
+                    time, partial(self._transition, node, down))
 
     # ------------------------------------------------------------------ #
     # Hot-path queries
@@ -415,5 +416,5 @@ class FaultInjector:
         transition = self.model.next_transition(node, now)
         if transition is not None:
             time, next_down = transition
-            self.sim.events.schedule_at(
+            self.sim.events.schedule_callback_at(
                 time, partial(self._transition, node, next_down))

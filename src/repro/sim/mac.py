@@ -227,6 +227,8 @@ class CsmaMac:
         else:
             # repro: allow-PERF001 — retained legacy reference path (per-frame
             # closures are exactly what the fast path above replaces)
+            # repro: allow-EVT101 — the legacy branch stays byte-faithful to
+            # the original handle-returning call the fast path replaces
             self.events.schedule(airtime, lambda: self._complete(transmission))
 
     def _complete_inflight(self) -> None:
@@ -273,6 +275,7 @@ class CsmaMac:
         if self._fast:
             self.events.schedule_callback(turnaround, self._start_contention)
         else:
+            # repro: allow-EVT101 — retained legacy reference path
             self.events.schedule(turnaround, self._start_contention)
 
     def _defer(self, delay: float, action) -> None:
@@ -281,6 +284,7 @@ class CsmaMac:
         if self._fast:
             self.events.schedule_callback(delay, action)
         else:
+            # repro: allow-EVT101 — retained legacy reference path
             self.events.schedule(delay, action)
 
     def _finish_inflight(self) -> None:

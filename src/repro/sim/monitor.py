@@ -130,7 +130,7 @@ class SimMonitor:
             self._fingerprints[flow_id] = fingerprint
             self._last_progress[flow_id] = self.sim.events.now
             self._quiet[flow_id] = 0
-        self.sim.events.schedule(self.interval, self._tick)
+        self.sim.events.schedule_callback(self.interval, self._tick)
 
     # ------------------------------------------------------------------ #
     # Agent probing (duck-typed — no protocol imports)
@@ -261,7 +261,7 @@ class SimMonitor:
                 f"no progress on flow(s) {sorted(stalled)} for "
                 f"{self.stall_intervals} check interval(s) (stall)")
 
-        sim.events.schedule(self.interval, self._tick)
+        sim.events.schedule_callback(self.interval, self._tick)
 
     def _check_safety(self) -> None:
         total_offered = sum(record.total_packets

@@ -87,6 +87,19 @@ class Simulator:
         """Schedule ``callback`` after ``delay`` simulated seconds."""
         return self.events.schedule(delay, callback)
 
+    def schedule_callback(self, delay: float, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancel handle is created.
+
+        Dispatch order is identical to :meth:`schedule` (same
+        ``(time, sequence)`` key space); use this when no teardown path
+        ever cancels the event.
+        """
+        self.events.schedule_callback(delay, callback)
+
+    def schedule_callback_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Fire-and-forget absolute-time scheduling; see :meth:`schedule_callback`."""
+        self.events.schedule_callback_at(time, callback)
+
     def run(self, until: float | None = None,
             stop_condition: Callable[[], bool] | None = None,
             max_events: int | None = None) -> float:

@@ -1,0 +1,19 @@
+"""Fixture: a minimal handle-returning scheduler surface (the PR 4 queue)."""
+
+
+class EventHandle:
+    """A cancellable scheduled event."""
+
+    def cancel(self):
+        """Mark the event cancelled."""
+
+
+class EventQueue:
+    """Minimal scheduler: ``schedule`` returns a cancel handle."""
+
+    def schedule(self, delay, callback):
+        """Schedule ``callback`` after ``delay``; returns a handle."""
+        return EventHandle()
+
+    def schedule_callback(self, delay, callback):
+        """Fire-and-forget schedule: no handle is created."""

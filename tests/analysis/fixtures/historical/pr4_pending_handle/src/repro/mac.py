@@ -1,0 +1,27 @@
+"""Fixture: the PR 4 ``_pending_handle`` leak, reconstructed.
+
+The MAC stores the handle of a pending completion event, then *clears*
+the attribute on the abort path without ever calling ``.cancel()`` — the
+orphaned event later fires into recycled frame state.  Clearing is not
+cancelling.
+"""
+
+from repro.events import EventQueue
+
+
+class Mac:
+    """Stores a schedule handle that no teardown path ever cancels."""
+
+    def __init__(self, events: EventQueue):
+        self.events = events
+        self._pending_handle = None
+
+    def start_frame(self):
+        self._pending_handle = self.events.schedule(0.001, self.on_complete)
+
+    def abort(self):
+        # The bug: the attribute is cleared, the event still fires.
+        self._pending_handle = None
+
+    def on_complete(self):
+        self._pending_handle = None

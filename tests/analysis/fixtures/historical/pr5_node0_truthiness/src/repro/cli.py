@@ -1,0 +1,12 @@
+"""Fixture entry point: builds a config and runs with it."""
+
+from repro.runner import RunConfig
+
+
+def main():
+    config = RunConfig()
+    return simulate(config)
+
+
+def simulate(config: RunConfig):
+    return config.seed

@@ -1,0 +1,15 @@
+"""Fixture: the helper that reads the knob — but nothing calls it.
+
+A refactor dropped the last call site.  The field is still *read* (so a
+text-level consumption check stays green), but the read is unreachable
+from the entry point, so every run silently places node 0 at the
+default — the PR 5 bug class CFG101 exists to reject.
+"""
+
+from repro.runner import RunConfig
+
+
+def place_nodes(config: RunConfig):
+    if config.node0_at_origin:
+        return [(0.0, 0.0)]
+    return [(1.0, 1.0)]

@@ -1,0 +1,11 @@
+"""Fixture: the PR 5 node-0 placement bug's config surface."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RunConfig:
+    """Two knobs: one threaded, one read only by dead code."""
+
+    seed: int = 0
+    node0_at_origin: bool = True

@@ -1,0 +1,18 @@
+"""Fixture: the PR 5 shared-Onoe-window bug, reconstructed.
+
+An autorate loss window stores a mutable Generator that was constructed
+elsewhere and passed in.  Two windows built over the *same* generator
+each see realisations that depend on how many draws the other window
+made first — query-order dependence that DET002's per-file storage check
+cannot see, because the storing class never constructs a generator.
+"""
+
+
+class OnoeWindow:
+    """A per-link loss window drawing from an injected generator."""
+
+    def __init__(self, rng):
+        self.rng = rng
+
+    def sample_loss(self):
+        return self.rng.random()

@@ -1,0 +1,10 @@
+"""Fixture: two autorate windows built over one shared generator."""
+
+import numpy as np
+
+from repro.channel import OnoeWindow
+
+
+def build_windows():
+    shared = np.random.default_rng(1234)
+    return OnoeWindow(shared), OnoeWindow(shared)

@@ -1,0 +1,153 @@
+"""The reconstructed historical-bug corpus.
+
+Each fixture under ``tests/analysis/fixtures/historical/`` rebuilds the
+shape of a bug a past PR actually shipped and later had to chase
+dynamically; each test proves the new whole-program rules reject that
+shape — and accept the repaired version, so the corpus also pins rule
+specificity.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import replace
+from pathlib import Path
+
+from repro.analysis import run_rules
+from repro.analysis.framework import AnalysisConfig
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "historical"
+
+
+def deploy(tmp_path, name: str) -> Path:
+    shutil.copytree(FIXTURES / name / "src", tmp_path / "src")
+    return tmp_path
+
+
+def patch(root, relative, old, new):
+    path = root / relative
+    text = path.read_text(encoding="utf-8")
+    assert text.count(old) == 1
+    path.write_text(text.replace(old, new), encoding="utf-8")
+
+
+# -- PR 4: the `_pending_handle` leak -> EVT101 ----------------------------- #
+
+PR4_CONFIG = dict(
+    event_queue_classes=(("src/repro/events.py", "EventQueue"),),
+)
+
+
+def test_pr4_pending_handle_leak_is_flagged(tmp_path):
+    root = deploy(tmp_path, "pr4_pending_handle")
+    config = replace(AnalysisConfig(), **PR4_CONFIG)
+    findings = run_rules(root, config=config, select=["EVT101"])
+    assert len(findings) == 1
+    assert findings[0].path == "src/repro/mac.py"
+    assert "Mac._pending_handle" in findings[0].message
+    assert "no method of `Mac` ever cancels it" in findings[0].message
+
+
+def test_pr4_repair_with_cancel_on_teardown_is_accepted(tmp_path):
+    root = deploy(tmp_path, "pr4_pending_handle")
+    patch(root, "src/repro/mac.py",
+          "    def abort(self):\n"
+          "        # The bug: the attribute is cleared, the event still fires.\n"
+          "        self._pending_handle = None\n",
+          "    def abort(self):\n"
+          "        held = self._pending_handle\n"
+          "        if held is not None:\n"
+          "            held.cancel()\n"
+          "        self._pending_handle = None\n")
+    config = replace(AnalysisConfig(), **PR4_CONFIG)
+    assert run_rules(root, config=config, select=["EVT101"]) == []
+
+
+# -- PR 5: the shared Onoe window -> DET101 --------------------------------- #
+
+PR5_WINDOW_CONFIG = dict(
+    purity_modules=("src/repro/channel.py",),
+    fault_modules=(),
+)
+
+
+def test_pr5_shared_onoe_window_is_flagged(tmp_path):
+    root = deploy(tmp_path, "pr5_onoe_window")
+    config = replace(AnalysisConfig(), **PR5_WINDOW_CONFIG)
+    findings = run_rules(root, config=config, select=["DET101"])
+    assert len(findings) == 1
+    assert findings[0].path == "src/repro/channel.py"
+    assert "query-order" in findings[0].message
+    assert "OnoeWindow.rng" in findings[0].message
+
+
+def test_pr5_per_query_window_repair_is_accepted(tmp_path):
+    root = deploy(tmp_path, "pr5_onoe_window")
+    patch(root, "src/repro/channel.py",
+          "class OnoeWindow:\n"
+          '    """A per-link loss window drawing from an injected generator."""\n'
+          "\n"
+          "    def __init__(self, rng):\n"
+          "        self.rng = rng\n"
+          "\n"
+          "    def sample_loss(self):\n"
+          "        return self.rng.random()\n",
+          "import numpy as np\n"
+          "\n"
+          "\n"
+          "class OnoeWindow:\n"
+          '    """A per-link loss window re-deriving its stream per query."""\n'
+          "\n"
+          "    def __init__(self, seed):\n"
+          "        self.seed = seed\n"
+          "        self.counter = 0\n"
+          "\n"
+          "    def sample_loss(self):\n"
+          "        self.counter += 1\n"
+          "        rng = np.random.default_rng((self.seed, self.counter))\n"
+          "        return rng.random()\n")
+    patch(root, "src/repro/harness.py",
+          "def build_windows():\n"
+          "    shared = np.random.default_rng(1234)\n"
+          "    return OnoeWindow(shared), OnoeWindow(shared)\n",
+          "def build_windows():\n"
+          "    return OnoeWindow(1234), OnoeWindow(1235)\n")
+    config = replace(AnalysisConfig(), **PR5_WINDOW_CONFIG)
+    assert run_rules(root, config=config, select=["DET101"]) == []
+
+
+# -- PR 5: the node-0 dead-read knob -> CFG101 ------------------------------ #
+
+PR5_NODE0_CONFIG = dict(
+    config_class=("src/repro/runner.py", "RunConfig"),
+    entry_modules=("repro.cli",),
+)
+
+
+def test_pr5_node0_dead_read_passes_cfg001_but_fails_cfg101(tmp_path):
+    root = deploy(tmp_path, "pr5_node0_truthiness")
+    config = replace(AnalysisConfig(), **PR5_NODE0_CONFIG)
+    # The text-level rule is satisfied — the field *is* read somewhere ...
+    assert run_rules(root, config=config, select=["CFG001"]) == []
+    # ... but the read is unreachable from the entry point.
+    findings = run_rules(root, config=config, select=["CFG101"])
+    assert len(findings) == 1
+    assert findings[0].path == "src/repro/runner.py"
+    assert "node0_at_origin" in findings[0].message
+    assert "dead code" in findings[0].message
+
+
+def test_pr5_node0_repair_restores_the_call_site(tmp_path):
+    root = deploy(tmp_path, "pr5_node0_truthiness")
+    patch(root, "src/repro/cli.py",
+          "from repro.runner import RunConfig\n",
+          "from repro.placement import place_nodes\n"
+          "from repro.runner import RunConfig\n")
+    patch(root, "src/repro/cli.py",
+          "def simulate(config: RunConfig):\n"
+          "    return config.seed\n",
+          "def simulate(config: RunConfig):\n"
+          "    positions = place_nodes(config)\n"
+          "    return (config.seed, positions)\n")
+    config = replace(AnalysisConfig(), **PR5_NODE0_CONFIG)
+    assert run_rules(root, config=config, select=["CFG101"]) == []

@@ -1,0 +1,134 @@
+"""DET101: interprocedural RNG provenance, proven on accept/reject fixtures."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis import run_rules
+from repro.analysis.framework import AnalysisConfig
+
+
+def write(root, relative, text):
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def det_config(**overrides) -> AnalysisConfig:
+    defaults = dict(
+        purity_modules=("src/repro/chan.py",),
+        fault_modules=(),
+        rng_main_root=("src/repro/sim.py", "Sim", "rng"),
+    )
+    defaults.update(overrides)
+    return replace(AnalysisConfig(), **defaults)
+
+
+SIM = ("import numpy as np\n"
+       "class Sim:\n"
+       "    def __init__(self, seed):\n"
+       "        self.rng = np.random.default_rng(seed)\n")
+
+
+def test_per_query_derivation_is_accepted(tmp_path):
+    write(tmp_path, "src/repro/sim.py", SIM)
+    write(tmp_path, "src/repro/chan.py",
+          "import numpy as np\n"
+          "class Channel:\n"
+          "    def __init__(self, seed):\n"
+          "        self.seed = seed\n"
+          "    def sample(self, counter):\n"
+          "        rng = np.random.default_rng((self.seed, counter))\n"
+          "        return rng.random()\n")
+    assert run_rules(tmp_path, config=det_config(), select=["DET101"]) == []
+
+
+def test_main_rng_leak_into_counter_module_is_rejected(tmp_path):
+    write(tmp_path, "src/repro/sim.py",
+          SIM +
+          "    def leak(self):\n"
+          "        return self.rng\n")
+    write(tmp_path, "src/repro/chan.py",
+          "from repro.sim import Sim\n"
+          "class Channel:\n"
+          "    def sample(self, sim: Sim):\n"
+          "        shared = sim.leak()\n"
+          "        return shared.random()\n")
+    findings = run_rules(tmp_path, config=det_config(), select=["DET101"])
+    assert len(findings) == 1
+    assert findings[0].path == "src/repro/chan.py"
+    assert "main" in findings[0].message
+
+
+def test_stored_generator_draw_is_query_order_dependent(tmp_path):
+    write(tmp_path, "src/repro/sim.py", SIM)
+    write(tmp_path, "src/repro/chan.py",
+          "import numpy as np\n"
+          "class Window:\n"
+          "    def __init__(self, rng):\n"
+          "        self.rng = rng\n"
+          "    def sample(self):\n"
+          "        return self.rng.random()\n"
+          "def build():\n"
+          "    return Window(np.random.default_rng(9))\n")
+    findings = run_rules(tmp_path, config=det_config(), select=["DET101"])
+    assert len(findings) == 1
+    assert "query-order" in findings[0].message
+    assert "Window.rng" in findings[0].message
+
+
+def test_two_direct_construction_sites_confuse_streams(tmp_path):
+    write(tmp_path, "src/repro/sim.py", SIM)
+    write(tmp_path, "src/repro/enc.py",
+          "import numpy as np\n"
+          "class Encoder:\n"
+          "    def __init__(self, seed):\n"
+          "        self.rng = np.random.default_rng(seed)\n"
+          "    def reset(self, seed):\n"
+          "        self.rng = np.random.default_rng((seed, 1))\n")
+    findings = run_rules(tmp_path, config=det_config(), select=["DET101"])
+    assert len(findings) == 1
+    assert "distinct construction sites" in findings[0].message
+
+
+def test_dependency_injection_is_not_stream_confusion(tmp_path):
+    write(tmp_path, "src/repro/sim.py", SIM)
+    write(tmp_path, "src/repro/enc.py",
+          "import numpy as np\n"
+          "class Encoder:\n"
+          "    def __init__(self, rng):\n"
+          "        self.rng = rng\n"
+          "def harness():\n"
+          "    return Encoder(np.random.default_rng(1))\n"
+          "def agent():\n"
+          "    return Encoder(np.random.default_rng(2))\n")
+    assert run_rules(tmp_path, config=det_config(), select=["DET101"]) == []
+
+
+def test_unseeded_provenance_is_unattributable(tmp_path):
+    write(tmp_path, "src/repro/sim.py", SIM)
+    write(tmp_path, "src/repro/chan.py",
+          "import numpy as np\n"
+          "def helper():\n"
+          "    return np.random.default_rng()\n"
+          "def sample():\n"
+          "    rng = helper()\n"
+          "    return rng.random()\n")
+    findings = run_rules(tmp_path, config=det_config(), select=["DET101"])
+    assert len(findings) == 1
+    assert "no declared stream root" in findings[0].message
+
+
+def test_unresolvable_receivers_are_skipped_not_guessed(tmp_path):
+    write(tmp_path, "src/repro/sim.py", SIM)
+    write(tmp_path, "src/repro/chan.py",
+          "def sample(mystery):\n"
+          "    return mystery.rng.random()\n")
+    assert run_rules(tmp_path, config=det_config(), select=["DET101"]) == []
+
+
+def test_shipped_tree_has_attributable_rng_flow():
+    from pathlib import Path
+    root = Path(__file__).resolve().parents[2]
+    assert run_rules(root, select=["DET101"]) == []
